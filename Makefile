@@ -1,0 +1,27 @@
+# Convenience targets for the Colza reproduction.
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/grayscott_insitu.py
+	python examples/mandelbulb_elastic.py
+	python examples/dwi_volume.py
+	python examples/fault_tolerance.py
+	python examples/adios_sst_coupling.py
+
+results: bench
+	@echo "tables written to results/, images to results/renders/"
+
+clean:
+	rm -rf results examples/output .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

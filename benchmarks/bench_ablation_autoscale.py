@@ -1,0 +1,34 @@
+"""Ablation: automatic resizing vs static provisioning (future work 2)."""
+
+from repro.bench import Table
+from repro.bench.experiments.ablation_autoscale import ITERATIONS, run
+
+
+def test_ablation_autoscale(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation — auto-resizing DWI vs static provisioning "
+        "(bounded render times at a fraction of static-large's cost)",
+        ["regime", "worst late-iteration (s)", "server-seconds", "final servers"],
+    )
+    for regime in ("autoscaled", "static_small", "static_large"):
+        r = results[regime]
+        table.add(
+            regime,
+            f"{max(r['times'][ITERATIONS // 2:]):.1f}",
+            f"{r['server_seconds']:.0f}",
+            r["final_servers"],
+        )
+    table.show()
+    table.save("ablation_autoscale")
+
+    auto = results["autoscaled"]
+    small = results["static_small"]
+    large = results["static_large"]
+    late = slice(ITERATIONS // 2, None)
+    # The controller keeps late iterations far below the static-small run.
+    assert max(auto["times"][late]) < 0.5 * max(small["times"][late])
+    # ... while consuming well under static-large's allocation.
+    assert auto["server_seconds"] < 0.7 * large["server_seconds"]
+    assert auto["final_servers"] > small["final_servers"]

@@ -1,0 +1,32 @@
+"""Ablation: IceT binary swap vs reduce-to-root compositing."""
+
+from repro.bench import Table
+from repro.bench.experiments.ablation_compositing import run
+
+SCALES = (2, 4, 8, 16, 32)
+
+
+def test_ablation_compositing(benchmark):
+    results = benchmark.pedantic(run, kwargs={"scales": SCALES}, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation — IceT strategy: composite time / bytes moved "
+        "(binary swap keeps per-rank traffic O(pixels))",
+        ["ranks", "bswap (ms)", "bswap (MB)", "reduce (ms)", "reduce (MB)"],
+    )
+    for n in SCALES:
+        b, r = results["bswap"][n], results["reduce"][n]
+        table.add(
+            n,
+            f"{b['seconds']*1e3:.2f}", f"{b['bytes']/1e6:.0f}",
+            f"{r['seconds']*1e3:.2f}", f"{r['bytes']/1e6:.0f}",
+        )
+    table.show()
+    table.save("ablation_compositing")
+
+    # Reduce-to-root degrades with rank count; binary swap stays flat-ish.
+    for n in SCALES[2:]:
+        assert results["bswap"][n]["seconds"] < results["reduce"][n]["seconds"]
+    bswap_growth = results["bswap"][32]["seconds"] / results["bswap"][2]["seconds"]
+    reduce_growth = results["reduce"][32]["seconds"] / results["reduce"][2]["seconds"]
+    assert reduce_growth > 3 * bswap_growth

@@ -1,0 +1,24 @@
+"""Ablation: MoNA binary-tree vs binomial-tree reduce (§III-C1 claim)."""
+
+from repro.bench import Table
+from repro.bench.experiments.ablation_reduce import SIZES, run
+
+
+def test_ablation_reduce_algorithms(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation — MoNA 512-proc bxor reduce per op (µs): the paper expects "
+        "optimized collectives to 'further improve' MoNA; binomial delivers",
+        ["size", "binary (paper's MoNA)", "binomial", "speedup"],
+    )
+    for size in SIZES:
+        b, o = results["binary"][size], results["binomial"][size]
+        table.add(size, f"{b*1e6:.1f}", f"{o*1e6:.1f}", f"{b/o:.2f}x")
+    table.show()
+    table.save("ablation_reduce")
+
+    for size in SIZES:
+        b, o = results["binary"][size], results["binomial"][size]
+        assert o < b  # always an improvement
+        assert 1.3 < b / o < 3.0  # roughly halves the serialized receives

@@ -1,0 +1,34 @@
+"""Ablation: SSG gossip-period sensitivity (§II-E's configuration note)."""
+
+from repro.bench import Table
+from repro.bench.experiments.ablation_ssg import run
+
+PERIODS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def test_ablation_ssg_period(benchmark):
+    results = benchmark.pedantic(
+        run, kwargs={"periods": PERIODS, "samples": 2}, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Ablation — SWIM protocol period vs join propagation and gossip load "
+        "(§II-E: the overhead 'depends on SSG's configuration parameters')",
+        ["period (s)", "join propagation (s)", "msgs/member/s"],
+    )
+    for period in PERIODS:
+        r = results[period]
+        table.add(period, f"{r['join_time']:.2f}", f"{r['messages_per_member_per_s']:.1f}")
+    table.show()
+    table.save("ablation_ssg_period")
+
+    joins = [results[p]["join_time"] for p in PERIODS]
+    loads = [results[p]["messages_per_member_per_s"] for p in PERIODS]
+    # Slower gossip => slower convergence but less background traffic.
+    assert joins[0] < joins[-1]
+    assert all(a >= b * 0.99 for a, b in zip(loads, loads[1:]))
+    # Load scales roughly inversely with the period.
+    assert loads[0] / loads[-1] > 5.0
+    # With the default period (0.25 s) join propagation is ~1-2 s — the
+    # band behind the paper's "order of a second" activate overhead.
+    assert results[0.25]["join_time"] < 3.0

@@ -1,0 +1,31 @@
+"""Fig. 1a: DWI dataset growth — cells (millions) and file sizes (GiB)."""
+
+import pytest
+
+from repro.bench import Table
+from repro.bench.experiments.fig1a_dwi_dataset import run
+
+
+def test_fig1a_dwi_dataset(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 1a — synthetic DWI ensemble growth (paper: ~47M -> ~553M cells)",
+        ["iteration", "cells (millions)", "file size (GiB)"],
+    )
+    for i, cells, gib in zip(
+        results["iteration"], results["cells_millions"], results["file_size_gib"]
+    ):
+        table.add(int(i), f"{cells:.1f}", f"{gib:.2f}")
+    table.show()
+    table.save("fig1a_dwi_dataset")
+
+    cells = results["cells_millions"]
+    assert cells[0] == pytest.approx(47.0, rel=0.01)
+    assert cells[-1] == pytest.approx(553.0, rel=0.01)
+    assert all(a < b for a, b in zip(cells, cells[1:]))  # monotone growth
+    sizes = results["file_size_gib"]
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    # Real generated meshes track the curve.
+    real = results["sampled_real_cells"]
+    assert real[0] < real[1] < real[2]

@@ -1,0 +1,35 @@
+"""Fig. 4: resizing N -> N+1, static restart vs elastic SSG join."""
+
+import numpy as np
+
+from repro.bench import Table
+from repro.bench.experiments.fig4_resize import run
+
+
+def test_fig4_resize(benchmark):
+    results = benchmark.pedantic(
+        run, kwargs={"max_n": 16, "samples_per_n": 2}, rounds=1, iterations=1
+    )
+
+    elastic = np.asarray(results["elastic"])
+    static = np.asarray(results["static"])
+
+    table = Table(
+        "Fig. 4 — resize N -> N+1 (s); paper: elastic ~5 (stable), static 5-40 (avg ~16)",
+        ["N", "elastic", "static"],
+    )
+    for n, e, s in zip(results["n"], elastic, static):
+        table.add(int(n), f"{e:.2f}", f"{s:.2f}")
+    table.add("mean", f"{elastic.mean():.2f}", f"{static.mean():.2f}")
+    table.add("std", f"{elastic.std():.2f}", f"{static.std():.2f}")
+    table.show()
+    table.save("fig4_resize")
+
+    # Elastic is stable around ~5 s.
+    assert 2.5 < elastic.mean() < 7.5
+    assert elastic.std() < 2.0
+    # Static restart is slower on average and far more variable.
+    assert 10.0 < static.mean() < 25.0
+    assert static.max() > 20.0
+    assert static.std() > 2.0 * elastic.std()
+    assert static.mean() > 2.0 * elastic.mean()

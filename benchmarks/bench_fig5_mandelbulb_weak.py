@@ -1,0 +1,32 @@
+"""Fig. 5: Mandelbulb weak scaling — MoNA vs MPI pipeline execution."""
+
+from repro.bench import Table
+from repro.bench.experiments.fig5_mandelbulb import run
+
+SCALES = (4, 16, 64, 128)
+
+
+def test_fig5_mandelbulb_weak(benchmark):
+    results = benchmark.pedantic(
+        run, kwargs={"scales": list(SCALES), "iterations": 3}, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Fig. 5 — Mandelbulb weak scaling, mean execute (s); paper: flat, MoNA ~= MPI",
+        ["servers", "MoNA", "MPI", "MoNA/MPI"],
+    )
+    for n in SCALES:
+        mona, mpi = results["mona"][n], results["mpi"][n]
+        table.add(n, f"{mona:.3f}", f"{mpi:.3f}", f"{mona/mpi:.4f}")
+    table.show()
+    table.save("fig5_mandelbulb_weak")
+
+    mona = [results["mona"][n] for n in SCALES]
+    mpi = [results["mpi"][n] for n in SCALES]
+    # Weak scaling: flat curve (within 15% of the smallest scale).
+    for series in (mona, mpi):
+        base = series[0]
+        assert all(abs(v - base) / base < 0.15 for v in series)
+    # MoNA introduces no significant overhead vs MPI (paper: none visible).
+    for m, p in zip(mona, mpi):
+        assert abs(m - p) / p < 0.05

@@ -1,0 +1,34 @@
+"""Fig. 6: Gray-Scott strong scaling (2 GB fixed) — MoNA vs MPI."""
+
+from repro.bench import Table
+from repro.bench.experiments.fig6_grayscott import run
+
+SCALES = (4, 16, 64, 128)
+
+
+def test_fig6_grayscott_strong(benchmark):
+    results = benchmark.pedantic(
+        run, kwargs={"scales": list(SCALES), "iterations": 3}, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Fig. 6 — Gray-Scott strong scaling, mean execute (s); paper: ~1/N, MoNA ~= MPI",
+        ["servers", "MoNA", "MPI", "speedup(MoNA) vs 4"],
+    )
+    base = results["mona"][SCALES[0]]
+    for n in SCALES:
+        mona, mpi = results["mona"][n], results["mpi"][n]
+        table.add(n, f"{mona:.3f}", f"{mpi:.3f}", f"{base/mona:.1f}x")
+    table.show()
+    table.save("fig6_grayscott_strong")
+
+    mona = [results["mona"][n] for n in SCALES]
+    mpi = [results["mpi"][n] for n in SCALES]
+    # Strong scaling: time falls with server count, near-ideal early.
+    assert all(a > b for a, b in zip(mona, mona[1:]))
+    assert all(a > b for a, b in zip(mpi, mpi[1:]))
+    ideal = SCALES[1] / SCALES[0]
+    assert mona[0] / mona[1] > 0.6 * ideal
+    # MoNA ~= MPI at every scale.
+    for m, p in zip(mona, mpi):
+        assert abs(m - p) / p < 0.10

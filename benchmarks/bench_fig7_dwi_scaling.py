@@ -1,0 +1,48 @@
+"""Fig. 7: DWI rendering time vs iteration at 8/16/32/64 processes."""
+
+from repro.bench import Table
+from repro.bench.experiments.fig7_dwi import run
+
+SCALES = (8, 16, 32, 64)
+
+
+def test_fig7_dwi_scaling(benchmark):
+    results = benchmark.pedantic(
+        run,
+        kwargs={"scales": SCALES, "iterations": 30, "modes": ("mona", "mpi")},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Fig. 7 — DWI execute per iteration (s); paper: grows with iteration, "
+        "~60 s at it 25-26 with 8 procs, MoNA ~= MPI",
+        ["iteration"] + [f"mona@{n}" for n in SCALES] + [f"mpi@{n}" for n in SCALES],
+    )
+    for it in range(1, 31):
+        row = [it]
+        for mode in ("mona", "mpi"):
+            for n in SCALES:
+                row.append(f"{results[mode][n][it - 1]:.1f}")
+        table.add(*row)
+    table.show()
+    table.save("fig7_dwi_scaling")
+
+    for mode in ("mona", "mpi"):
+        # Growth with iteration (ignoring the iteration-1 init spike).
+        for n in SCALES:
+            series = results[mode][n]
+            assert series[29] > series[1]
+            assert all(a <= b * 1.05 for a, b in zip(series[1:], series[2:]))
+        # More servers => faster, at every late iteration.
+        for it in (9, 19, 29):
+            times = [results[mode][n][it] for n in SCALES]
+            assert all(a > b for a, b in zip(times, times[1:]))
+    # The paper's anchor: ~60 s around iterations 25-26 at 8 processes.
+    anchor = results["mpi"][8][25]
+    assert 40.0 < anchor < 80.0
+    # MoNA ~= MPI throughout.
+    for n in SCALES:
+        for it in (9, 19, 29):
+            m, p = results["mona"][n][it], results["mpi"][n][it]
+            assert abs(m - p) / p < 0.10

@@ -1,0 +1,54 @@
+"""Fig. 9: exercising elasticity with Mandelbulb (2 -> 8 nodes)."""
+
+import numpy as np
+
+from repro.bench import Table
+from repro.bench.experiments.fig9_elastic import MAX_SERVERS, START_SERVERS, run
+
+
+def test_fig9_elastic_mandelbulb(benchmark):
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 9 — Mandelbulb with Colza resized 2 -> 8 nodes; paper: execute "
+        "steps down, join-init spikes, activate/stage/deactivate negligible",
+        ["iter", "servers", "activate (ms)", "stage mean (ms)", "execute (s)", "deactivate (ms)"],
+    )
+    for r in records:
+        table.add(
+            r["iteration"], r["servers"],
+            f"{r['activate']*1e3:.1f}", f"{r['stage_mean']*1e3:.1f}",
+            f"{r['execute']:.2f}", f"{r['deactivate']*1e3:.2f}",
+        )
+    table.show()
+    table.save("fig9_elastic_mandelbulb")
+
+    servers = [r["servers"] for r in records]
+    assert servers[0] == START_SERVERS
+    assert servers[-1] == MAX_SERVERS
+    assert all(a <= b for a, b in zip(servers, servers[1:]))  # grows monotonically
+
+    # Execution time steps down as servers join (steady-state values).
+    def steady_exec(n):
+        vals = [
+            r["execute"]
+            for prev, r in zip(records, records[1:])
+            if r["servers"] == n and prev["servers"] == n
+        ]
+        return np.mean(vals) if vals else None
+
+    e2, e8 = steady_exec(START_SERVERS), steady_exec(MAX_SERVERS)
+    assert e2 is not None and e8 is not None
+    assert e8 < e2 / 2.5  # ~4x more servers => much faster
+
+    # Join iterations carry the VTK-init spike.
+    for prev, r in zip(records, records[1:]):
+        if r["servers"] > prev["servers"]:
+            steady = steady_exec(r["servers"])
+            assert r["execute"] > steady + 4.0  # the ~8 s init is visible
+
+    # activate/stage/deactivate are a negligible portion of run time.
+    for r in records:
+        assert r["activate"] < 0.5
+        assert r["stage_mean"] < 0.5
+        assert r["deactivate"] < 0.1

@@ -1,0 +1,45 @@
+"""Table I: point-to-point latency for Cray-mpich / OpenMPI / MoNA / NA."""
+
+import pytest
+
+from repro.bench import Table
+from repro.bench.experiments.table1_p2p import NA_SIZES, PAPER_TABLE1_US, SIZES, run
+
+
+def test_table1_p2p(benchmark):
+    results = benchmark.pedantic(run, kwargs={"ops": 200}, rounds=1, iterations=1)
+
+    table = Table(
+        "Table I — time per send/recv op (µs), paper vs measured",
+        ["size", "cray(paper)", "cray", "ompi(paper)", "ompi", "mona(paper)", "mona", "na(paper)", "na"],
+    )
+    for size in SIZES:
+        na_paper = PAPER_TABLE1_US["na"].get(size)
+        na_measured = results["na"].get(size)
+        table.add(
+            size,
+            PAPER_TABLE1_US["craympich"][size], f"{results['craympich'][size]*1e6:.3f}",
+            PAPER_TABLE1_US["openmpi"][size], f"{results['openmpi'][size]*1e6:.3f}",
+            PAPER_TABLE1_US["mona"][size], f"{results['mona'][size]*1e6:.3f}",
+            na_paper if na_paper is not None else "-",
+            f"{na_measured*1e6:.3f}" if na_measured is not None else "-",
+        )
+    table.show()
+    table.save("table1_p2p")
+
+    # Shape assertions (the paper's claims).
+    for size in SIZES:
+        cray, ompi, mona = (
+            results["craympich"][size], results["openmpi"][size], results["mona"][size]
+        )
+        assert cray <= ompi and cray <= mona  # vendor MPI always fastest
+        if size >= 16384:
+            assert mona < ompi  # MoNA beats OpenMPI for large messages
+    for size in NA_SIZES:
+        assert results["mona"][size] < results["na"][size]  # request caching wins
+    # Values land on the paper's anchors (calibrated by construction).
+    for lib in ("craympich", "openmpi", "mona"):
+        for size in SIZES:
+            assert results[lib][size] * 1e6 == pytest.approx(
+                PAPER_TABLE1_US[lib][size], rel=0.01
+            )

@@ -1,0 +1,18 @@
+"""Colza reproduction: elastic in situ visualization for HPC simulations.
+
+Reproduces Dorier et al., "Colza: Enabling Elastic In Situ
+Visualization for High-performance Computing Simulations" (IPDPS 2022),
+as a complete Python system on a deterministic discrete-event
+simulation substrate. See README.md for the architecture overview,
+DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+reproduced tables and figures.
+
+Commonly used entry points are re-exported here; the full API lives in
+the subpackages (``repro.sim``, ``repro.mona``, ``repro.core``, ...).
+"""
+
+from repro.sim import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulation", "__version__"]

@@ -1,0 +1,32 @@
+"""ADIOS2-sim: the SST streaming-coupling engine with injectable comms.
+
+§V of the paper observes that ADIOS2's SST engine "depends on a Comm
+communicator class [which] is abstract, with a concrete implementation
+relying on MPI. Hence by injecting MoNA into ADIOS2, the work presented
+in this paper could be adapted to work within the ADIOS2 interface as
+well." This package demonstrates exactly that adaptation:
+
+- :class:`AdiosComm` — ADIOS2's abstract ``Comm``, with MoNA- and
+  MPI-backed implementations (the injection point);
+- :class:`Adios` / :class:`IO` — the familiar declare-io front door;
+- :class:`SSTWriter` / :class:`SSTReader` — the SST engine:
+  step-oriented publish/subscribe of global arrays, with N-to-M data
+  redistribution performed by RDMA pulls from the writers' exposed
+  buffers (ADIOS "taking care of data redistribution via RDMA").
+"""
+
+from repro.adios.comm import AdiosComm, MonaAdiosComm, MPIAdiosComm
+from repro.adios.core import Adios, IO, Variable
+from repro.adios.sst import SSTReader, SSTWriter, StreamRegistry
+
+__all__ = [
+    "Adios",
+    "AdiosComm",
+    "IO",
+    "MPIAdiosComm",
+    "MonaAdiosComm",
+    "SSTReader",
+    "SSTWriter",
+    "StreamRegistry",
+    "Variable",
+]

@@ -1,0 +1,83 @@
+"""The ADIOS2 front door: Adios -> IO -> Variables/Engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.adios.comm import AdiosComm
+
+__all__ = ["Adios", "IO", "Variable"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A global 1-D array variable (shape/start/count decomposition)."""
+
+    name: str
+    shape: int  # global element count
+    dtype: str = "float64"
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+
+class IO:
+    """An ADIOS2 IO object: variable definitions + engine factory."""
+
+    def __init__(self, adios: "Adios", name: str):
+        self.adios = adios
+        self.name = name
+        self.engine_type = "SST"
+        self.variables: Dict[str, Variable] = {}
+
+    def set_engine(self, engine_type: str) -> None:
+        if engine_type != "SST":
+            raise ValueError(f"only the SST engine is implemented, not {engine_type!r}")
+        self.engine_type = engine_type
+
+    def define_variable(self, name: str, shape: int, dtype: str = "float64") -> Variable:
+        if name in self.variables:
+            raise ValueError(f"variable {name!r} already defined")
+        if shape < 1:
+            raise ValueError("shape must be >= 1")
+        var = Variable(name, int(shape), dtype)
+        self.variables[name] = var
+        return var
+
+    def inquire_variable(self, name: str) -> Optional[Variable]:
+        return self.variables.get(name)
+
+    def open(self, stream_name: str, mode: str, comm: AdiosComm, margo):
+        """Open an SST engine ('w' for the producer, 'r' for consumers)."""
+        from repro.adios.sst import SSTReader, SSTWriter
+
+        registry = self.adios.registry
+        if mode == "w":
+            return SSTWriter(self, stream_name, comm, margo, registry)
+        if mode == "r":
+            return SSTReader(self, stream_name, comm, margo, registry)
+        raise ValueError(f"mode must be 'w' or 'r', got {mode!r}")
+
+
+class Adios:
+    """Top-level ADIOS object; owns the stream rendezvous registry."""
+
+    def __init__(self, registry=None):
+        from repro.adios.sst import StreamRegistry
+
+        self.registry = registry if registry is not None else StreamRegistry()
+        self._ios: Dict[str, IO] = {}
+
+    def declare_io(self, name: str) -> IO:
+        if name in self._ios:
+            raise ValueError(f"IO {name!r} already declared")
+        io = IO(self, name)
+        self._ios[name] = io
+        return io
+
+    def at_io(self, name: str) -> Optional[IO]:
+        return self._ios.get(name)

@@ -1,0 +1,232 @@
+"""The SST engine: step-streamed global arrays with RDMA redistribution.
+
+Writers decompose a global 1-D array into per-rank blocks; at
+``end_step`` the blocks are RDMA-exposed and their metadata (offsets +
+memory handles) is aggregated over the writer ``Comm`` (the injectable
+MoNA/MPI communicator) and published to the :class:`StreamRegistry`
+(standing for SST's contact/rendezvous file). Readers wait for steps,
+then ``get`` arbitrary slabs: the engine intersects the request with
+the writers' blocks and pulls exactly the overlapping byte ranges via
+RDMA — N writers to M readers, no global barrier between the sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.adios.comm import AdiosComm
+from repro.adios.core import IO, Variable
+from repro.na.payload import MemoryHandle, VirtualPayload
+from repro.sim.kernel import Event
+
+__all__ = ["SSTReader", "SSTWriter", "StreamRegistry"]
+
+#: (start, count, handle) of one writer-rank block.
+Block = Tuple[int, int, MemoryHandle]
+StepMetadata = Dict[str, List[Block]]
+
+END_OF_STREAM = "end"
+STEP_OK = "ok"
+
+
+class _Stream:
+    def __init__(self) -> None:
+        self.steps: Dict[int, StepMetadata] = {}
+        self.finished = False
+        self._waiters: List[Tuple[int, Event]] = []
+
+    def publish(self, step: int, metadata: StepMetadata) -> None:
+        self.steps[step] = metadata
+        self._fire(step)
+
+    def finish(self) -> None:
+        self.finished = True
+        self._fire(None)
+
+    def _fire(self, step: Optional[int]) -> None:
+        remaining = []
+        for wanted, ev in self._waiters:
+            if ev.fired:
+                continue
+            if self.finished or (step is not None and wanted == step):
+                ev.succeed(END_OF_STREAM if wanted not in self.steps else STEP_OK)
+            else:
+                remaining.append((wanted, ev))
+        self._waiters = remaining
+
+    def wait(self, sim, step: int) -> Event:
+        ev = Event(sim, name=f"sst-step-{step}")
+        if step in self.steps:
+            ev.succeed(STEP_OK)
+        elif self.finished:
+            ev.succeed(END_OF_STREAM)
+        else:
+            self._waiters.append((step, ev))
+        return ev
+
+
+class StreamRegistry:
+    """Rendezvous shared by all engines (SST's contact-file role)."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, _Stream] = {}
+
+    def stream(self, name: str) -> _Stream:
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = _Stream()
+            self._streams[name] = stream
+        return stream
+
+
+class SSTWriter:
+    """Producer side of one stream, per writer rank."""
+
+    def __init__(self, io: IO, stream_name: str, comm: AdiosComm, margo, registry: StreamRegistry):
+        self.io = io
+        self.stream_name = stream_name
+        self.comm = comm
+        self.margo = margo
+        self.registry = registry
+        self.current_step = -1
+        self._pending: Dict[str, Tuple[int, Any]] = {}
+        self._in_step = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def begin_step(self) -> Generator:
+        if self._closed:
+            raise RuntimeError("begin_step on a closed writer")
+        if self._in_step:
+            raise RuntimeError("begin_step without end_step")
+        self.current_step += 1
+        self._in_step = True
+        self._pending.clear()
+        yield self.margo.sim.timeout(0)
+        return STEP_OK
+
+    def put(self, var: Variable, data: Any, start: int) -> None:
+        """Contribute this rank's block [start, start+len) of ``var``."""
+        if not self._in_step:
+            raise RuntimeError("put outside begin_step/end_step")
+        if self.io.inquire_variable(var.name) is None:
+            raise KeyError(f"variable {var.name!r} not defined in IO {self.io.name!r}")
+        count = data.size if isinstance(data, VirtualPayload) else int(np.asarray(data).size)
+        if start < 0 or start + count > var.shape:
+            raise ValueError(
+                f"block [{start}, {start + count}) outside {var.name!r}'s shape {var.shape}"
+            )
+        self._pending[var.name] = (start, data)
+
+    def end_step(self) -> Generator:
+        """Expose buffers, aggregate metadata, publish the step."""
+        if not self._in_step:
+            raise RuntimeError("end_step without begin_step")
+        self._in_step = False
+        local_meta: Dict[str, Block] = {}
+        for name, (start, data) in self._pending.items():
+            if isinstance(data, VirtualPayload):
+                payload: Any = data
+                count = data.size
+            else:
+                payload = np.ascontiguousarray(data)
+                count = int(payload.size)
+            handle = self.margo.expose(payload)
+            local_meta[name] = (start, count, handle)
+        # Metadata aggregation over the injected Comm (gather at rank 0).
+        gathered = yield from self.comm.gather(local_meta, root=0)
+        if self.comm.rank == 0:
+            step_meta: StepMetadata = {}
+            for rank_meta in gathered:
+                for name, block in rank_meta.items():
+                    step_meta.setdefault(name, []).append(block)
+            for blocks in step_meta.values():
+                blocks.sort(key=lambda b: b[0])
+            self.registry.stream(self.stream_name).publish(self.current_step, step_meta)
+        return None
+
+    def close(self) -> Generator:
+        """Flush and mark the stream finished (readers see end-of-stream)."""
+        if self._in_step:
+            raise RuntimeError("close inside an open step")
+        self._closed = True
+        yield from self.comm.barrier()
+        if self.comm.rank == 0:
+            self.registry.stream(self.stream_name).finish()
+        return None
+
+
+class SSTReader:
+    """Consumer side of one stream, per reader rank."""
+
+    def __init__(self, io: IO, stream_name: str, comm: AdiosComm, margo, registry: StreamRegistry):
+        self.io = io
+        self.stream_name = stream_name
+        self.comm = comm
+        self.margo = margo
+        self.registry = registry
+        self.current_step = -1
+        self._in_step = False
+
+    # ------------------------------------------------------------------
+    def begin_step(self) -> Generator:
+        """Wait for the next step; returns 'ok' or 'end'."""
+        if self._in_step:
+            raise RuntimeError("begin_step without end_step")
+        wanted = self.current_step + 1
+        stream = self.registry.stream(self.stream_name)
+        status = yield stream.wait(self.margo.sim, wanted)
+        if status == END_OF_STREAM and wanted not in stream.steps:
+            return END_OF_STREAM
+        self.current_step = wanted
+        self._in_step = True
+        return STEP_OK
+
+    def get(self, var: Variable, start: int, count: int) -> Generator:
+        """Fetch the slab [start, start+count) of ``var`` for this step.
+
+        Pulls exactly the overlapping byte ranges from each contributing
+        writer block via RDMA sub-handles.
+        """
+        if not self._in_step:
+            raise RuntimeError("get outside begin_step/end_step")
+        if start < 0 or count < 1 or start + count > var.shape:
+            raise ValueError(f"slab [{start}, {start + count}) outside shape {var.shape}")
+        metadata = self.registry.stream(self.stream_name).steps[self.current_step]
+        blocks = metadata.get(var.name)
+        if blocks is None:
+            raise KeyError(f"variable {var.name!r} absent from step {self.current_step}")
+        out = np.empty(count, dtype=var.dtype)
+        filled = np.zeros(count, dtype=bool)
+        itemsize = var.itemsize
+        for b_start, b_count, handle in blocks:
+            lo = max(start, b_start)
+            hi = min(start + count, b_start + b_count)
+            if hi <= lo:
+                continue
+            sub = handle.slice((lo - b_start) * itemsize, (hi - lo) * itemsize)
+            piece = yield self.margo.bulk_pull(sub)
+            if isinstance(piece, VirtualPayload):
+                out[lo - start : hi - start] = 0  # virtual mode: no data
+            else:
+                out[lo - start : hi - start] = np.asarray(piece).ravel()[: hi - lo]
+            filled[lo - start : hi - start] = True
+        if not filled.all():
+            raise ValueError(
+                f"writers did not cover slab [{start}, {start + count}) of {var.name!r}"
+            )
+        return out
+
+    def end_step(self) -> Generator:
+        if not self._in_step:
+            raise RuntimeError("end_step without begin_step")
+        self._in_step = False
+        yield self.margo.sim.timeout(0)
+        return None
+
+    def close(self) -> Generator:
+        yield self.margo.sim.timeout(0)
+        return None

@@ -1,0 +1,25 @@
+"""The paper's three data-source applications.
+
+- :mod:`repro.apps.grayscott` — a real 3D Gray–Scott reaction-diffusion
+  solver with 3D Cartesian domain decomposition and halo exchange
+  (fixed data per iteration; used for strong scaling, Fig. 6);
+- :mod:`repro.apps.mandelbulb` — the Mandelbulb fractal miniapp,
+  z-axis partitioning, multiple blocks per process (weak scaling,
+  Figs. 5/8/9);
+- :mod:`repro.apps.dwi` — a synthetic Deep Water Impact ensemble
+  generator reproducing the dataset's published growth curve (Fig. 1a)
+  plus the paper's mpi4py/meshio-style proxy reader (Figs. 7/10).
+"""
+
+from repro.apps.dwi import DWIDataset, DWIProxyRank
+from repro.apps.grayscott import GrayScottParams, GrayScottSolver
+from repro.apps.mandelbulb import MandelbulbBlock, mandelbulb_field
+
+__all__ = [
+    "DWIDataset",
+    "DWIProxyRank",
+    "GrayScottParams",
+    "GrayScottSolver",
+    "MandelbulbBlock",
+    "mandelbulb_field",
+]

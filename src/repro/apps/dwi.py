@@ -1,0 +1,190 @@
+"""Synthetic Deep Water Impact (DWI) ensemble + proxy reader.
+
+The real dataset (LANL's Deep Water Impact Ensemble, ~30k iterations of
+an asteroid-ocean impact run on 512 processes) is not available here.
+What every DWI experiment in the paper depends on is its *shape*:
+an unstructured (tet) mesh whose cell count — and hence rendering
+cost — grows from ~47M to ~553M cells over the 30 selected snapshots
+(Fig. 1a), split into 512 VTU files per snapshot.
+
+:class:`DWIDataset` reproduces exactly that: a deterministic synthetic
+ensemble with the published growth curve, 512 partitions per iteration,
+VTU-equivalent file sizes, and (in real mode) actual tetrahedral
+meshes of an expanding plume with a velocity magnitude field.
+:class:`DWIProxyRank` is the paper's mpi4py/meshio proxy: it "reads"
+the files for each iteration, distributing them evenly across client
+ranks, and stages them block-by-block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.na.payload import VirtualPayload
+from repro.vtk.dataset import UnstructuredGrid
+
+__all__ = ["DWIDataset", "DWIProxyRank"]
+
+# Fig. 1a anchors: ~47M cells at the first selected snapshot, ~553M at
+# the last, with super-linear (modeled exponential) growth; VTU file
+# sizes track cells at ~50 bytes/cell (points + connectivity + fields).
+CELLS_FIRST = 4.7e7
+CELLS_LAST = 5.53e8
+BYTES_PER_CELL = 50.0
+
+# Tetrahedra per cube when tetrahedralizing a structured block.
+_TETS = np.array(
+    [
+        (0, 1, 2, 6), (0, 2, 3, 6), (0, 3, 7, 6),
+        (0, 7, 4, 6), (0, 4, 5, 6), (0, 5, 1, 6),
+    ],
+    dtype=np.int64,
+)
+_CORNERS = np.array(
+    [
+        (0, 0, 0), (1, 0, 0), (1, 1, 0), (0, 1, 0),
+        (0, 0, 1), (1, 0, 1), (1, 1, 1), (0, 1, 1),
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass
+class DWIDataset:
+    """The synthetic ensemble: 30 snapshots x 512 partitions.
+
+    ``scale`` shrinks real meshes for laptop runs (cells are divided by
+    ``scale``) while the *declared* sizes used for staging/compute cost
+    remain at paper scale — so timing experiments see the true curve
+    and correctness tests see real geometry.
+    """
+
+    iterations: int = 30
+    partitions: int = 512
+    seed: int = 42
+
+    # ------------------------------------------------------------------
+    # Fig. 1a curves
+    def total_cells(self, iteration: int) -> int:
+        """Cells in the full mesh at ``iteration`` (1-based)."""
+        self._check_iteration(iteration)
+        if self.iterations == 1:
+            return int(CELLS_LAST)
+        t = (iteration - 1) / (self.iterations - 1)
+        return int(CELLS_FIRST * (CELLS_LAST / CELLS_FIRST) ** t)
+
+    def file_size_bytes(self, iteration: int) -> int:
+        """Total VTU bytes at ``iteration`` (across all partitions)."""
+        return int(self.total_cells(iteration) * BYTES_PER_CELL)
+
+    def partition_cells(self, iteration: int, part: int) -> int:
+        """Cells in one of the 512 partition files."""
+        self._check_partition(part)
+        total = self.total_cells(iteration)
+        base, rem = divmod(total, self.partitions)
+        return base + (1 if part < rem else 0)
+
+    def _check_iteration(self, iteration: int) -> None:
+        if not 1 <= iteration <= self.iterations:
+            raise ValueError(f"iteration {iteration} out of 1..{self.iterations}")
+
+    def _check_partition(self, part: int) -> None:
+        if not 0 <= part < self.partitions:
+            raise ValueError(f"partition {part} out of 0..{self.partitions - 1}")
+
+    # ------------------------------------------------------------------
+    # file access
+    def virtual_file(self, iteration: int, part: int) -> VirtualPayload:
+        """Paper-scale stand-in: declared size only (benchmark mode)."""
+        cells = self.partition_cells(iteration, part)
+        # A tet cell is priced via BYTES_PER_CELL; expose as a flat blob.
+        return VirtualPayload((int(cells * BYTES_PER_CELL),), "uint8")
+
+    def real_file(self, iteration: int, part: int, scale: float = 1e5) -> UnstructuredGrid:
+        """An actual tetrahedral mesh with ~cells/scale cells.
+
+        The mesh is a spherical-plume block: a tetrahedralized grid
+        patch whose radial position and velocity field grow with the
+        iteration — geometry complexity tracking the real dataset's.
+        """
+        self._check_iteration(iteration)
+        self._check_partition(part)
+        target_cells = max(int(self.partition_cells(iteration, part) / scale), 6)
+        # cells = 6 * (n-1)^3 for an n^3-point block.
+        n = max(int(round((target_cells / 6) ** (1 / 3))) + 1, 2)
+        rng = np.random.default_rng(self.seed + iteration * 1009 + part)
+
+        # Place the partition's block on a shell whose radius grows
+        # with iteration (the expanding plume).
+        t = (iteration - 1) / max(self.iterations - 1, 1)
+        shell_r = 1.0 + 3.0 * t
+        golden = math.pi * (3.0 - math.sqrt(5.0))
+        frac = (part + 0.5) / self.partitions
+        theta = math.acos(1 - 2 * frac)
+        phi = golden * part
+        center = shell_r * np.array(
+            [math.sin(theta) * math.cos(phi), math.sin(theta) * math.sin(phi), math.cos(theta)]
+        )
+        extent = 0.5 + 0.5 * t
+
+        axes = [np.linspace(-extent / 2, extent / 2, n) for _ in range(3)]
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        points = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()]) + center
+        points += rng.normal(scale=0.02 * extent / n, size=points.shape)
+
+        cells = _tetrahedralize(n)
+        # Velocity: radial outflow scaled by the growth, plus swirl noise.
+        radial = points - 0.0
+        speed = (1.0 + 4.0 * t) * np.linalg.norm(radial, axis=1)
+        velocity = speed + rng.normal(scale=0.05 * (1 + 4 * t), size=len(points))
+        return UnstructuredGrid(
+            points,
+            cells,
+            point_data={"velocity": velocity},
+            cell_data={},
+        )
+
+    def files_for_rank(
+        self, iteration: int, rank: int, nranks: int
+    ) -> List[int]:
+        """Partition indices rank ``rank`` of ``nranks`` should read."""
+        if not 0 <= rank < nranks:
+            raise ValueError("bad rank")
+        return list(range(rank, self.partitions, nranks))
+
+
+def _tetrahedralize(n: int) -> np.ndarray:
+    """Connectivity of 6 tets per cube for an n^3-point grid block."""
+    idx = np.arange(n**3).reshape(n, n, n)
+    corners = []
+    for dx, dy, dz in _CORNERS:
+        corners.append(idx[dx : n - 1 + dx, dy : n - 1 + dy, dz : n - 1 + dz].ravel())
+    corner_mat = np.column_stack(corners)  # (cells, 8)
+    tets = [corner_mat[:, tet] for tet in _TETS]
+    return np.concatenate(tets, axis=0)
+
+
+@dataclass
+class DWIProxyRank:
+    """One client rank of the DWI proxy application.
+
+    At each iteration it "reads" its share of the 512 VTU files (real
+    or virtual mode) and yields (block_id, payload) pairs for staging.
+    """
+
+    dataset: DWIDataset
+    rank: int
+    nranks: int
+    virtual: bool = True
+    scale: float = 1e5
+
+    def read_iteration(self, iteration: int) -> Iterator[Tuple[int, object]]:
+        for part in self.dataset.files_for_rank(iteration, self.rank, self.nranks):
+            if self.virtual:
+                yield part, self.dataset.virtual_file(iteration, part)
+            else:
+                yield part, self.dataset.real_file(iteration, part, self.scale)

@@ -1,0 +1,101 @@
+"""Execution streams and user-level threads.
+
+An :class:`Xstream` models one core running an Argobots scheduler. ULTs
+on the same xstream share it cooperatively: explicit compute intervals
+(:meth:`Xstream.compute`) serialize, while blocking waits release the
+core. :meth:`Xstream.spin_wait` models the MPI alternative the paper
+criticizes — holding the core while blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.kernel import Coroutine, Event, Simulation, Task
+from repro.sim.resources import Resource
+
+__all__ = ["Ult", "Xstream"]
+
+
+class Xstream:
+    """An execution stream: a serial compute resource plus a ULT registry."""
+
+    def __init__(self, sim: Simulation, name: str = "xstream"):
+        self.sim = sim
+        self.name = name
+        self.core = Resource(sim, capacity=1, name=f"{name}.core")
+        self.ults: list["Ult"] = []
+
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Coroutine, name: str = "") -> "Ult":
+        """Create and schedule a ULT running ``gen`` on this xstream."""
+        ult = Ult(self, gen, name or f"{self.name}.ult{len(self.ults)}")
+        self.ults.append(ult)
+        return ult
+
+    def compute(self, seconds: float) -> Generator[Event, Any, None]:
+        """Charge ``seconds`` of compute, serialized with other ULTs here.
+
+        ``yield from`` this from ULT code. Zero-cost compute returns
+        without touching the core.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds!r}")
+        if seconds == 0:
+            return
+        yield from self.core.use(seconds)
+
+    def spin_wait(self, event: Event) -> Generator[Event, Any, Any]:
+        """Wait for ``event`` while *holding* the core (MPI-style block).
+
+        Returns the event's value. Contrast with a bare ``yield event``,
+        which is the Argobots-style yielding wait.
+        """
+        yield self.core.acquire()
+        try:
+            value = yield event
+        finally:
+            self.core.release()
+        return value
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the core was busy."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.core.busy_time() / self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Xstream {self.name!r} ults={len(self.ults)}>"
+
+
+class Ult:
+    """A user-level thread bound to an xstream.
+
+    Thin wrapper over a kernel :class:`Task` that remembers its home
+    xstream so library code can charge compute against the right core.
+    """
+
+    def __init__(self, xstream: Xstream, gen: Coroutine, name: str):
+        self.xstream = xstream
+        self.name = name
+        self.task: Task = xstream.sim.spawn(gen, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.task.finished
+
+    def join(self) -> Event:
+        """Event firing with the ULT's return value."""
+        return self.task.join()
+
+    def cancel(self, cause: Any = None) -> None:
+        """Interrupt the ULT (it may catch :class:`~repro.sim.Interrupt`)."""
+        self.task.interrupt(cause)
+
+    def kill(self) -> None:
+        """Forcibly terminate the ULT."""
+        self.task.kill()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Ult {self.name!r} on {self.xstream.name!r}>"

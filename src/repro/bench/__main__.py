@@ -1,0 +1,112 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench table1 table2
+    python -m repro.bench fig5 --arg scales=[4,16]
+    python -m repro.bench all
+
+Each experiment prints its structured results; the pytest-benchmark
+entry points under ``benchmarks/`` remain the canonical paper-vs-
+measured harness (with assertions) — this CLI is for interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+import time
+from typing import Any, Callable, Dict
+
+EXPERIMENTS: Dict[str, str] = {
+    "table1": "repro.bench.experiments.table1_p2p",
+    "table2": "repro.bench.experiments.table2_reduce",
+    "fig1a": "repro.bench.experiments.fig1a_dwi_dataset",
+    "fig3": "repro.bench.experiments.fig3_fig1b_renders",
+    "fig4": "repro.bench.experiments.fig4_resize",
+    "fig5": "repro.bench.experiments.fig5_mandelbulb",
+    "fig6": "repro.bench.experiments.fig6_grayscott",
+    "fig7": "repro.bench.experiments.fig7_dwi",
+    "fig8": "repro.bench.experiments.fig8_frameworks",
+    "fig9": "repro.bench.experiments.fig9_elastic",
+    "fig10": "repro.bench.experiments.fig10_elastic_dwi",
+    "sec2e": "repro.bench.experiments.sec2e_activate",
+    "ablation-reduce": "repro.bench.experiments.ablation_reduce",
+    "ablation-ssg": "repro.bench.experiments.ablation_ssg",
+    "ablation-compositing": "repro.bench.experiments.ablation_compositing",
+    "ablation-autoscale": "repro.bench.experiments.ablation_autoscale",
+}
+
+
+def _load_runner(name: str) -> Callable[..., Any]:
+    import importlib
+
+    module = importlib.import_module(EXPERIMENTS[name])
+    return module.run
+
+
+def _parse_arg(text: str) -> tuple:
+    key, _, raw = text.partition("=")
+    if not _:
+        raise SystemExit(f"--arg expects key=value, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def _jsonable(obj: Any) -> Any:
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    return obj
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run Colza-reproduction experiments interactively.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names, or 'all'")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--arg", action="append", default=[], metavar="KEY=VALUE",
+        help="keyword argument forwarded to run() (Python literal)",
+    )
+    parser.add_argument("--json", action="store_true", help="print raw JSON results")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name, module in EXPERIMENTS.items():
+            print(f"  {name:22s} {module}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    kwargs = dict(_parse_arg(a) for a in args.arg)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        print(f"== {name} ({EXPERIMENTS[name]}) ==")
+        t0 = time.time()
+        results = _load_runner(name)(**kwargs)
+        elapsed = time.time() - t0
+        print(json.dumps(_jsonable(results), indent=2) if args.json else _jsonable(results))
+        print(f"-- {name} done in {elapsed:.1f}s wall --\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""One module per table/figure of the paper's evaluation (§III).
+
+| Module                  | Reproduces                                   |
+|-------------------------|----------------------------------------------|
+| ``fig1a_dwi_dataset``   | Fig. 1a  DWI cells / file-size growth        |
+| ``fig4_resize``         | Fig. 4   static vs elastic resize times      |
+| ``table1_p2p``          | Table I  p2p latency, 4 libraries            |
+| ``table2_reduce``       | Table II 512-proc bxor reduce                |
+| ``fig5_mandelbulb``     | Fig. 5   Mandelbulb weak scaling             |
+| ``fig6_grayscott``      | Fig. 6   Gray-Scott strong scaling           |
+| ``fig7_dwi``            | Fig. 7   DWI per-iteration render times      |
+| ``fig8_frameworks``     | Fig. 8   Colza vs Damaris vs DataSpaces      |
+| ``fig9_elastic``        | Fig. 9   elasticity timeline (Mandelbulb)    |
+| ``fig10_elastic_dwi``   | Fig. 10  elastic vs static DWI               |
+| ``sec2e_activate``      | §II-E    activate overhead on group change   |
+"""

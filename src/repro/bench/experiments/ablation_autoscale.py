@@ -1,0 +1,93 @@
+"""Ablation: automatic resizing vs static provisioning (future work 2).
+
+Runs the Fig. 10-style growing DWI workload under three regimes:
+
+- **autoscaled**: start small; the :class:`ElasticityPolicy` grows the
+  staging area whenever execute exceeds its target band;
+- **static small**: the initial allocation, never resized;
+- **static large**: provisioned for the final iteration from day one.
+
+Reported per regime: per-iteration execute times, the worst steady
+iteration, and *server-seconds* consumed (the resource-efficiency
+argument for elasticity: bounded times near the small allocation's
+cost, not the large one's).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import DWIDataset, DWIProxyRank
+from repro.bench.harness import ColzaExperiment
+from repro.core.elasticity import AutoScaler, ElasticityPolicy
+from repro.core.pipelines import DWIVolumeScript
+from repro.testing import drive
+
+__all__ = ["run"]
+
+N_CLIENTS = 16
+ITERATIONS = 24
+SMALL, LARGE = 8, 64
+PROCS_PER_NODE = 8
+#: The simulation computes this long between in-situ iterations — idle
+#: staging servers burn allocation during it (the waste static-large
+#: provisioning pays for its low render times).
+APP_COMPUTE_S = 20.0
+
+
+def _experiment(n_servers: int, seed: int) -> ColzaExperiment:
+    return ColzaExperiment(
+        n_servers=n_servers,
+        n_clients=N_CLIENTS,
+        script=DWIVolumeScript(),
+        server_procs_per_node=PROCS_PER_NODE,
+        clients_per_node=16,
+        client_nodes_offset=16,
+        swim_period=0.5,
+        seed=seed,
+        nodes=64,
+    ).setup()
+
+
+def _run(regime: str, seed: int) -> Dict[str, object]:
+    dataset = DWIDataset(iterations=30)
+    proxies = [
+        DWIProxyRank(dataset, rank=r, nranks=N_CLIENTS, virtual=True)
+        for r in range(N_CLIENTS)
+    ]
+    n0 = LARGE if regime == "static_large" else SMALL
+    exp = _experiment(n0, seed)
+    scaler = None
+    if regime == "autoscaled":
+        policy = ElasticityPolicy(
+            target_high=12.0, target_low=1.0, max_servers=LARGE,
+            grow_step=PROCS_PER_NODE, cooldown_iterations=1,
+        )
+        scaler = AutoScaler(exp, policy, next_node=SMALL // PROCS_PER_NODE)
+
+    times: List[float] = []
+    server_seconds = 0.0
+    t_prev = exp.sim.now
+    for it in range(1, ITERATIONS + 1):
+        exp.sim.run(until=exp.sim.now + APP_COMPUTE_S)  # the app computes
+        blocks = [list(p.read_iteration(it)) for p in proxies]
+        timing = exp.run_iteration(it, blocks)
+        times.append(timing.execute)
+        now = exp.sim.now
+        server_seconds += timing.n_servers * (now - t_prev)
+        t_prev = now
+        if scaler is not None:
+            drive(exp.sim, scaler.step(timing.execute), max_time=600)
+    return {
+        "times": times,
+        "server_seconds": server_seconds,
+        "final_servers": len(exp.deployment.live_daemons()),
+    }
+
+
+def run(seed: int = 17) -> Dict[str, Dict[str, object]]:
+    return {
+        "autoscaled": _run("autoscaled", seed),
+        "static_small": _run("static_small", seed + 1),
+        "static_large": _run("static_large", seed + 2),
+    }

@@ -1,0 +1,56 @@
+"""Ablation: IceT compositing strategy (binary swap vs reduce-to-root).
+
+DESIGN.md lists the compositing strategy as the design choice that
+makes parallel rendering's only communication-heavy stage scale:
+binary swap moves O(pixels) per rank, reduce-to-root funnels
+O(ranks x pixels) into one process. This sweep measures composite time
+and bytes moved for both strategies across staging-area sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.icet import MonaIceTCommunicator, binary_swap, reduce_to_root
+from repro.sim import Simulation
+from repro.testing import build_mona_world, run_all
+from repro.vtk.render.image import CompositeImage
+
+__all__ = ["run"]
+
+WIDTH, HEIGHT = 512, 512  # ~4 MB RGBA+depth per rank
+
+
+def _image(rank: int, rng: np.random.Generator) -> CompositeImage:
+    img = CompositeImage.blank(WIDTH, HEIGHT, brick_depth=float(rank))
+    mask = rng.random((HEIGHT, WIDTH)) < 0.5
+    img.depth[mask] = rank + 0.5
+    img.rgba[mask] = rng.random(4).astype(np.float32)
+    return img
+
+
+def _measure(strategy: str, n_ranks: int, seed: int = 0) -> Tuple[float, float]:
+    sim = Simulation(seed=seed)
+    fabric, _, comms = build_mona_world(sim, n_ranks, procs_per_node=4)
+    rng = np.random.default_rng(seed)
+    images = [_image(r, rng) for r in range(n_ranks)]
+    fn = binary_swap if strategy == "bswap" else reduce_to_root
+
+    def body(c, img):
+        return (yield from fn(MonaIceTCommunicator(c), img, op="zbuffer", root=0))
+
+    bytes_before = fabric.bytes_sent
+    start = sim.now
+    run_all(sim, [body(c, img) for c, img in zip(comms, images)], max_time=1e9)
+    return sim.now - start, float(fabric.bytes_sent - bytes_before)
+
+
+def run(scales: Tuple[int, ...] = (2, 4, 8, 16, 32)) -> Dict[str, Dict[int, Dict[str, float]]]:
+    results: Dict[str, Dict[int, Dict[str, float]]] = {"bswap": {}, "reduce": {}}
+    for n in scales:
+        for strategy in ("bswap", "reduce"):
+            seconds, nbytes = _measure(strategy, n)
+            results[strategy][n] = {"seconds": seconds, "bytes": nbytes}
+    return results

@@ -1,0 +1,62 @@
+"""Ablation: SSG gossip-period sensitivity.
+
+§II-E: the group-change overhead "depends on SSG's configuration
+parameters such as how frequently information is exchanged across
+members". This sweep measures, per protocol period:
+
+- join propagation time (a new member's info reaching everyone);
+- gossip message load (protocol messages per member per second).
+
+The trade-off is the expected one: faster periods converge quicker but
+cost proportionally more background traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import Deployment
+from repro.sim import Simulation
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+
+__all__ = ["run"]
+
+
+def _sample(period: float, n_servers: int, seed: int) -> Dict[str, float]:
+    sim = Simulation(seed=seed)
+    deployment = Deployment(sim, swim_config=SwimConfig(period=period))
+    drive(sim, deployment.start_servers(n_servers), max_time=600)
+    run_until(sim, deployment.converged, max_time=600)
+    sim.run(until=sim.now + 10.0)  # settle
+
+    msgs_before = deployment.fabric.messages_sent
+    t_before = sim.now
+    sim.run(until=sim.now + 30.0)  # steady-state gossip window
+    load = (deployment.fabric.messages_sent - msgs_before) / 30.0 / n_servers
+
+    t0 = sim.now
+    drive(sim, deployment.add_server(node_index=n_servers, charge_launch=False),
+          max_time=600)
+    run_until(sim, deployment.converged, max_time=600)
+    join_time = sim.now - t0
+    return {"join_time": join_time, "messages_per_member_per_s": load}
+
+
+def run(
+    periods: List[float] = (0.1, 0.25, 0.5, 1.0, 2.0),
+    n_servers: int = 8,
+    samples: int = 2,
+) -> Dict[float, Dict[str, float]]:
+    results: Dict[float, Dict[str, float]] = {}
+    for period in periods:
+        join_times, loads = [], []
+        for s in range(samples):
+            sample = _sample(period, n_servers, seed=int(period * 1000) + s)
+            join_times.append(sample["join_time"])
+            loads.append(sample["messages_per_member_per_s"])
+        results[period] = {
+            "join_time": sum(join_times) / len(join_times),
+            "messages_per_member_per_s": sum(loads) / len(loads),
+        }
+    return results

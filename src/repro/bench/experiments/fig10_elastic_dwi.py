@@ -1,0 +1,83 @@
+"""Fig. 10: elastic vs static Colza on Deep Water Impact.
+
+Paper setup: the DWI proxy runs its 30 iterations; Colza starts with 1
+node x 8 processes. From iteration 13, 8 new processes (one node) are
+added every other iteration up to 72 processes. Compared against
+static deployments of 8 and 72 processes. Elasticity keeps the
+rendering time bounded (~10 s, ~20 s including the join-init spike)
+while static-8 keeps growing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import DWIDataset, DWIProxyRank
+from repro.bench.harness import ColzaExperiment
+from repro.core.pipelines import DWIVolumeScript
+
+__all__ = ["run"]
+
+N_CLIENTS = 32
+PROCS_PER_NODE = 8
+ITERATIONS = 30
+GROW_FROM_ITERATION = 13
+GROW_STEP = PROCS_PER_NODE  # one node = 8 processes
+MAX_PROCS = 72
+
+
+def _experiment(n_servers: int, seed: int) -> ColzaExperiment:
+    return ColzaExperiment(
+        n_servers=n_servers,
+        n_clients=N_CLIENTS,
+        script=DWIVolumeScript(),
+        controller="mona",
+        server_procs_per_node=PROCS_PER_NODE,
+        clients_per_node=16,
+        client_nodes_offset=16,
+        swim_period=0.5,
+        seed=seed,
+        nodes=64,
+    ).setup()
+
+
+def _run_case(elastic: bool, n_servers: int, seed: int) -> List[float]:
+    dataset = DWIDataset(iterations=ITERATIONS)
+    proxies = [
+        DWIProxyRank(dataset, rank=r, nranks=N_CLIENTS, virtual=True)
+        for r in range(N_CLIENTS)
+    ]
+    exp = _experiment(n_servers, seed)
+    times: List[float] = []
+    next_node = n_servers // PROCS_PER_NODE
+    current = n_servers
+    for it in range(1, ITERATIONS + 1):
+        if (
+            elastic
+            and it >= GROW_FROM_ITERATION
+            and (it - GROW_FROM_ITERATION) % 2 == 0
+            and current < MAX_PROCS
+        ):
+
+            from repro.testing import drive
+
+            drive(
+                exp.sim,
+                exp.add_servers_with_pipeline(GROW_STEP, node_index=next_node),
+                max_time=10000,
+            )
+            current += GROW_STEP
+            next_node += 1
+        blocks_per_client = [list(p.read_iteration(it)) for p in proxies]
+        timing = exp.run_iteration(it, blocks_per_client)
+        times.append(timing.execute)
+    return times
+
+
+def run(seed: int = 13) -> Dict[str, List[float]]:
+    """Per-iteration execute times: elastic, static-8, static-72."""
+    return {
+        "elastic_8_to_72": _run_case(True, 8, seed),
+        "static_8": _run_case(False, 8, seed + 1),
+        "static_72": _run_case(False, 72, seed + 2),
+    }

@@ -1,0 +1,77 @@
+"""Figs. 1b and 3: the rendered images themselves.
+
+Fig. 1b shows volume renderings of three Deep Water Impact stages
+(beginning / middle / end); Fig. 3 shows the Gray-Scott iso+clip
+rendering (seed in noise) and the Mandelbulb iso-surface. This
+experiment runs the actual pipelines on real data at laptop scale and
+writes the images, asserting each has meaningful content.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.apps import DWIDataset, GrayScottParams, GrayScottSolver, MandelbulbBlock
+from repro.vtk import MultiBlockDataSet
+from repro.vtk.filters import clip_polydata, contour, merge_blocks, resample_to_image
+from repro.vtk.render import Camera, rasterize, volume_render
+
+__all__ = ["run"]
+
+
+def _grayscott_image(width=192, height=192):
+    """Fig. 3a: two iso-levels of v, clipped to expose the interior."""
+    params = GrayScottParams(F=0.04, k=0.06, dt=2.0, noise=0.01, seed=3)
+    solver = GrayScottSolver((32, 32, 32), params=params)
+    for _ in range(500):
+        solver.step_local()
+    block = solver.local_block("v")
+    surface = contour(block, [0.1, 0.25], "v")
+    clipped = clip_polydata(surface, origin=(14, 0, 0), normal=(1, 0, 0))
+    camera = Camera.fit(block.bounds)
+    return rasterize(clipped, camera, width, height, color_field="v", cmap="coolwarm")
+
+
+def _mandelbulb_image(width=192, height=192):
+    """Fig. 3b: a single iso-level of the escape-iteration field."""
+    blocks = [MandelbulbBlock(i, 4, resolution=(40, 40, 14), max_iterations=10) for i in range(4)]
+    pieces = [contour(b.generate(), [8.0], "iterations") for b in blocks]
+    from repro.vtk.dataset import PolyData
+
+    surface = PolyData.concatenate(pieces)
+    camera = Camera.fit((-1.2, 1.2, -1.2, 1.2, -1.2, 1.2))
+    return rasterize(surface, camera, width, height)
+
+
+def _dwi_image(iteration, width=192, height=192):
+    """Fig. 1b: volume rendering of one DWI stage."""
+    ds = DWIDataset(partitions=48)
+    meshes = [ds.real_file(iteration, p, scale=3e4) for p in range(0, 48, 2)]
+    merged = merge_blocks(MultiBlockDataSet(list(meshes)))
+    sampled = resample_to_image(merged, (40, 40, 40), fields=["velocity"])
+    return volume_render(sampled, "velocity", width=width, height=height)
+
+
+def run(out_dir: str = "results/renders") -> Dict[str, Dict[str, float]]:
+    os.makedirs(out_dir, exist_ok=True)
+    images = {
+        "fig3a_grayscott": _grayscott_image(),
+        "fig3b_mandelbulb": _mandelbulb_image(),
+        "fig1b_dwi_early": _dwi_image(1),
+        "fig1b_dwi_middle": _dwi_image(15),
+        "fig1b_dwi_late": _dwi_image(30),
+    }
+    stats: Dict[str, Dict[str, float]] = {}
+    for name, image in images.items():
+        image.write_ppm(os.path.join(out_dir, f"{name}.ppm"))
+        rgba = image.rgba
+        stats[name] = {
+            "coverage": image.coverage(),
+            "color_variance": float(rgba[..., :3][rgba[..., 3] > 0].std())
+            if (rgba[..., 3] > 0).any()
+            else 0.0,
+        }
+    return stats

@@ -1,0 +1,62 @@
+"""Fig. 4: resizing a staging area from N to N+1 processes.
+
+Two strategies, as in the paper:
+
+- **static**: kill the whole staging area and relaunch it with N+1
+  daemons; measured from the kill signal until the new group is formed
+  and ready (all members converged);
+- **elastic**: srun one extra daemon that joins via SSG; measured from
+  the srun command until the membership information has fully
+  propagated to every member.
+
+Each sample uses a fresh simulation (fresh launch-latency draws).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import Deployment
+from repro.sim import Simulation
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+
+__all__ = ["run"]
+
+SWIM = SwimConfig(period=0.25)
+
+
+def _elastic_sample(n: int, seed: int) -> float:
+    sim = Simulation(seed=seed)
+    deployment = Deployment(sim, swim_config=SWIM)
+    drive(sim, deployment.start_servers(n), max_time=600)
+    run_until(sim, deployment.converged, max_time=600)
+    sim.run(until=sim.now + 60.0)  # the paper's settle period
+    t0 = sim.now
+    drive(sim, deployment.add_server(node_index=n), max_time=600)
+    run_until(sim, deployment.converged, max_time=600)
+    return sim.now - t0
+
+
+def _static_sample(n: int, seed: int) -> float:
+    sim = Simulation(seed=seed)
+    deployment = Deployment(sim, swim_config=SWIM)
+    drive(sim, deployment.start_servers(n), max_time=600)
+    run_until(sim, deployment.converged, max_time=600)
+    sim.run(until=sim.now + 60.0)
+    t0 = sim.now
+    drive(sim, deployment.static_restart(n + 1), max_time=600)
+    run_until(sim, deployment.converged, max_time=600)
+    return sim.now - t0
+
+
+def run(max_n: int = 16, samples_per_n: int = 2) -> Dict[str, List[float]]:
+    """Resize times for N = 1..max_n, both strategies."""
+    results: Dict[str, List[float]] = {"n": [], "elastic": [], "static": []}
+    for n in range(1, max_n + 1):
+        for s in range(samples_per_n):
+            seed = 1000 * n + s
+            results["n"].append(float(n))
+            results["elastic"].append(_elastic_sample(n, seed))
+            results["static"].append(_static_sample(n, seed))
+    return results

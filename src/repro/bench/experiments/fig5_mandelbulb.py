@@ -1,0 +1,65 @@
+"""Fig. 5: Mandelbulb weak scaling, MoNA vs MPI pipelines.
+
+Paper setup: each Colza process serves 4 client processes; each client
+generates 4 blocks of 128^3 ints (8 MB). Staging spans 4..128 server
+processes (4 per node), so data grows with the staging area — weak
+scaling: the curve should be flat, and MoNA ~= MPI.
+
+Blocks are virtual (paper-scale sizes, no RAM); the pipeline is the
+iso-surface script, and we discard the first iteration (VTK/Python
+init) as the paper does, averaging the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.harness import ColzaExperiment
+from repro.core.pipelines import MPI_COMM_REGISTRY, IsoSurfaceScript
+from repro.na import VirtualPayload
+
+__all__ = ["run"]
+
+BLOCK = VirtualPayload((128, 128, 128), "int32")  # 8 MB
+BLOCKS_PER_CLIENT = 4
+CLIENTS_PER_SERVER = 4
+
+
+def _run_scale(n_servers: int, controller: str, iterations: int, seed: int) -> float:
+    n_clients = CLIENTS_PER_SERVER * n_servers
+    exp = ColzaExperiment(
+        n_servers=n_servers,
+        n_clients=n_clients,
+        script=IsoSurfaceScript(field="iterations", isovalues=[4.0]),
+        controller=controller,
+        server_procs_per_node=4,
+        clients_per_node=32,
+        client_nodes_offset=64,
+        swim_period=0.5,
+        seed=seed,
+        nodes=128,
+    ).setup()
+    blocks_per_client = [
+        [(ci * BLOCKS_PER_CLIENT + b, BLOCK) for b in range(BLOCKS_PER_CLIENT)]
+        for ci in range(n_clients)
+    ]
+    times = []
+    for it in range(1, iterations + 1):
+        timing = exp.run_iteration(it, blocks_per_client)
+        times.append(timing.execute)
+    MPI_COMM_REGISTRY.clear()
+    # Discard the first iteration (library/interpreter init).
+    timed = times[1:]
+    return sum(timed) / len(timed)
+
+
+def run(
+    scales: List[int] = (4, 16, 64, 128),
+    iterations: int = 3,
+) -> Dict[str, Dict[int, float]]:
+    """Mean pipeline execution time per (mode, staging size)."""
+    results: Dict[str, Dict[int, float]] = {"mona": {}, "mpi": {}}
+    for i, n in enumerate(scales):
+        results["mona"][n] = _run_scale(n, "mona", iterations, seed=100 + i)
+        results["mpi"][n] = _run_scale(n, "mpi", iterations, seed=200 + i)
+    return results

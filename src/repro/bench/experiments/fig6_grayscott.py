@@ -1,0 +1,65 @@
+"""Fig. 6: Gray-Scott strong scaling, MoNA vs MPI pipelines.
+
+Paper setup: 512 client processes produce a fixed 2 GB domain per
+iteration (float64 => 268M points total), staged onto 4..128 servers —
+strong scaling: execution time should fall ~1/N, and MoNA ~= MPI.
+The pipeline is multi-level iso-surfaces + clip (the paper's Fig. 3a
+pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.harness import ColzaExperiment
+from repro.core.pipelines import MPI_COMM_REGISTRY, IsoSurfaceScript
+from repro.na import VirtualPayload
+
+__all__ = ["run"]
+
+N_CLIENTS = 512
+TOTAL_BYTES = 2 << 30  # 2 GB domain per iteration
+
+
+def _client_block(n_clients: int) -> VirtualPayload:
+    elements = TOTAL_BYTES // 8 // n_clients  # float64 field
+    return VirtualPayload((elements,), "float64")
+
+
+def _run_scale(n_servers: int, controller: str, iterations: int, seed: int) -> float:
+    script = IsoSurfaceScript(
+        field="v", isovalues=[0.1, 0.2, 0.3],
+        clip=((0.0, 0.0, 0.0), (0.0, 0.0, 1.0)),
+    )
+    exp = ColzaExperiment(
+        n_servers=n_servers,
+        n_clients=N_CLIENTS,
+        script=script,
+        controller=controller,
+        server_procs_per_node=8,
+        clients_per_node=32,
+        client_nodes_offset=64,
+        swim_period=0.5,
+        seed=seed,
+        nodes=128,
+    ).setup()
+    block = _client_block(N_CLIENTS)
+    blocks_per_client = [[(ci, block)] for ci in range(N_CLIENTS)]
+    times = []
+    for it in range(1, iterations + 1):
+        timing = exp.run_iteration(it, blocks_per_client)
+        times.append(timing.execute)
+    MPI_COMM_REGISTRY.clear()
+    timed = times[1:]
+    return sum(timed) / len(timed)
+
+
+def run(
+    scales: List[int] = (4, 16, 64, 128),
+    iterations: int = 3,
+) -> Dict[str, Dict[int, float]]:
+    results: Dict[str, Dict[int, float]] = {"mona": {}, "mpi": {}}
+    for i, n in enumerate(scales):
+        results["mona"][n] = _run_scale(n, "mona", iterations, seed=300 + i)
+        results["mpi"][n] = _run_scale(n, "mpi", iterations, seed=400 + i)
+    return results

@@ -1,0 +1,64 @@
+"""Fig. 7: Deep Water Impact rendering time per iteration.
+
+Paper setup: 2 client nodes x 16 processes; each iteration consists of
+512 VTU files distributed over the 32 clients (16 files each); volume
+rendering on 8/16/32/64 Colza processes (1/2/4/8 nodes), MPI vs MoNA.
+Rendering payload *grows* with the iteration (Fig. 1a), so curves rise,
+and more servers keep them lower. Blocks are virtual at paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps import DWIDataset, DWIProxyRank
+from repro.bench.harness import ColzaExperiment
+from repro.core.pipelines import MPI_COMM_REGISTRY, DWIVolumeScript
+
+__all__ = ["run"]
+
+N_CLIENTS = 32
+
+
+def _run_scale(
+    n_servers: int, controller: str, iterations: int, seed: int
+) -> List[float]:
+    if iterations > 30:
+        raise ValueError("the DWI ensemble has 30 snapshots")
+    dataset = DWIDataset(iterations=30)  # fixed curve; run a prefix
+    proxies = [
+        DWIProxyRank(dataset, rank=r, nranks=N_CLIENTS, virtual=True)
+        for r in range(N_CLIENTS)
+    ]
+    exp = ColzaExperiment(
+        n_servers=n_servers,
+        n_clients=N_CLIENTS,
+        script=DWIVolumeScript(),
+        controller=controller,
+        server_procs_per_node=8,
+        clients_per_node=16,
+        client_nodes_offset=32,
+        swim_period=0.5,
+        seed=seed,
+        nodes=64,
+    ).setup()
+    times = []
+    for it in range(1, iterations + 1):
+        blocks_per_client = [list(p.read_iteration(it)) for p in proxies]
+        timing = exp.run_iteration(it, blocks_per_client)
+        times.append(timing.execute)
+    MPI_COMM_REGISTRY.clear()
+    return times
+
+
+def run(
+    scales: Tuple[int, ...] = (8, 16, 32, 64),
+    iterations: int = 30,
+    modes: Tuple[str, ...] = ("mona", "mpi"),
+) -> Dict[str, Dict[int, List[float]]]:
+    """Per-iteration execute times for every (mode, staging size)."""
+    results: Dict[str, Dict[int, List[float]]] = {m: {} for m in modes}
+    for i, n in enumerate(scales):
+        for mode in modes:
+            results[mode][n] = _run_scale(n, mode, iterations, seed=500 + i)
+    return results

@@ -1,0 +1,104 @@
+"""Table I: time to complete N send/recv operations, per library.
+
+Runs actual message traffic through the simulated fabric — MPI
+libraries through :class:`MpiWorld` ranks on two nodes, MoNA through a
+two-member communicator, raw NA through bare endpoints — and reports
+per-operation microseconds next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpi import MpiWorld
+from repro.na import Fabric, P2P_CALIBRATION, VirtualPayload, get_cost_model
+from repro.sim import Simulation
+from repro.testing import run_all
+
+__all__ = ["PAPER_TABLE1_US", "run"]
+
+SIZES = [8, 128, 2048, 16384, 32768, 524288]
+NA_SIZES = [8, 128, 2048]  # the paper only measured NA for small messages
+
+#: Paper Table I (per-op µs; 1000 ops reported in ms = per-op µs).
+PAPER_TABLE1_US: Dict[str, Dict[int, float]] = {
+    lib: dict(anchors) for lib, anchors in P2P_CALIBRATION.items() if lib != "na"
+}
+PAPER_TABLE1_US["na"] = {8: 2.103, 128: 2.122, 2048: 2.766}
+
+
+def _payload(nbytes: int) -> VirtualPayload:
+    return VirtualPayload((nbytes,), "uint8")
+
+
+def _measure_mpi(profile: str, nbytes: int, ops: int) -> float:
+    sim = Simulation()
+    fabric = Fabric(sim)
+    world = MpiWorld(sim, fabric, 2, profile=profile, procs_per_node=1)
+    payload = _payload(nbytes)
+
+    def sender(c):
+        for i in range(ops):
+            yield from c.send(1, payload, tag=i)
+
+    def receiver(c):
+        for i in range(ops):
+            yield from c.recv(source=0, tag=i)
+
+    start = sim.now
+    run_all(sim, [sender(world.comm_world(0)), receiver(world.comm_world(1))],
+            max_time=1e9)
+    return (sim.now - start) / ops
+
+
+def _measure_mona(nbytes: int, ops: int) -> float:
+    from repro.testing import build_mona_world
+
+    sim = Simulation()
+    _, _, comms = build_mona_world(sim, 2)
+    payload = _payload(nbytes)
+
+    def sender(c):
+        for i in range(ops):
+            yield from c.send(1, payload, tag=i)
+
+    def receiver(c):
+        for i in range(ops):
+            yield from c.recv(source=0, tag=i)
+
+    start = sim.now
+    run_all(sim, [sender(comms[0]), receiver(comms[1])], max_time=1e9)
+    return (sim.now - start) / ops
+
+
+def _measure_na(nbytes: int, ops: int) -> float:
+    sim = Simulation()
+    fabric = Fabric(sim)
+    model = get_cost_model("na")
+    a = fabric.register("na-a", 0, model)
+    b = fabric.register("na-b", 1, model)
+    payload = _payload(nbytes)
+
+    def sender(sim):
+        for i in range(ops):
+            yield a.send(b.address, payload, tag=i)
+
+    def receiver(sim):
+        for i in range(ops):
+            yield b.recv(tag=i)
+
+    start = sim.now
+    run_all(sim, [sender(sim), receiver(sim)], max_time=1e9)
+    return (sim.now - start) / ops
+
+
+def run(ops: int = 200) -> Dict[str, Dict[int, float]]:
+    """Measured per-op seconds for every (library, size)."""
+    results: Dict[str, Dict[int, float]] = {}
+    for profile in ("craympich", "openmpi"):
+        results[profile] = {s: _measure_mpi(profile, s, ops) for s in SIZES}
+    results["mona"] = {s: _measure_mona(s, ops) for s in SIZES}
+    results["na"] = {s: _measure_na(s, ops) for s in NA_SIZES}
+    return results

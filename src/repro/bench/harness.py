@@ -1,0 +1,229 @@
+"""Shared machinery for the Colza pipeline experiments (Figs. 5-10).
+
+A :class:`ColzaExperiment` assembles the full stack — cluster, staging
+deployment, N client processes, a deployed Catalyst pipeline in MoNA or
+MPI mode — and drives iterations of the standard protocol: one client
+runs the 2PC ``activate``, all clients ``stage`` their blocks
+concurrently, then ``execute`` + ``deactivate``. Per-call durations
+are read back from the simulation tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.catalyst.script import CatalystScript
+from repro.core import ColzaAdmin, Deployment
+from repro.core.pipelines import MPI_COMM_REGISTRY
+from repro.mpi import MpiWorld
+from repro.sim import Simulation
+from repro.sim.platform import Cluster
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+
+__all__ = ["ColzaExperiment", "IterationTiming"]
+
+#: Blocks for one client: list of (block_id, payload, metadata).
+ClientBlocks = Sequence[Tuple[int, Any]]
+
+
+@dataclass
+class IterationTiming:
+    iteration: int
+    activate: float
+    stage_total: float
+    stage_mean: float
+    execute: float
+    deactivate: float
+    n_servers: int
+
+    @property
+    def total(self) -> float:
+        return self.activate + self.stage_total + self.execute + self.deactivate
+
+
+class ColzaExperiment:
+    """End-to-end staging experiment at a given scale."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        n_clients: int,
+        script: CatalystScript,
+        controller: str = "mona",
+        mpi_profile: str = "craympich",
+        server_procs_per_node: int = 1,
+        client_nodes_offset: int = 40,
+        clients_per_node: int = 16,
+        width: int = 256,
+        height: int = 256,
+        swim_period: float = 0.25,
+        seed: int = 0,
+        nodes: int = 128,
+        pipeline_name: str = "render",
+        library: str = "libcolza-catalyst.so",
+    ):
+        self.sim = Simulation(seed=seed)
+        self.cluster = Cluster(self.sim, nodes=nodes)
+        self.deployment = Deployment(
+            self.sim, cluster=self.cluster,
+            swim_config=SwimConfig(period=swim_period),
+        )
+        self.n_servers = n_servers
+        self.n_clients = n_clients
+        self.script = script
+        self.controller = controller
+        self.mpi_profile = mpi_profile
+        self.server_procs_per_node = server_procs_per_node
+        self.client_nodes_offset = client_nodes_offset
+        self.clients_per_node = clients_per_node
+        self.width = width
+        self.height = height
+        self.pipeline_name = pipeline_name
+        self.library = library
+        self.handles: List = []
+        self.clients: List = []
+        self.client_margos: List = []
+        self.mpi_world: Optional[MpiWorld] = None
+        self.timings: List[IterationTiming] = []
+
+    # ------------------------------------------------------------------
+    def setup(self) -> "ColzaExperiment":
+        sim = self.sim
+        drive(
+            sim,
+            self.deployment.start_servers(
+                self.n_servers, first_node=0, procs_per_node=self.server_procs_per_node
+            ),
+            max_time=600,
+        )
+        run_until(sim, self.deployment.converged, max_time=600)
+
+        for i in range(self.n_clients):
+            node = self.client_nodes_offset + i // self.clients_per_node
+            margo, client = self.deployment.make_client(node_index=node)
+            drive(sim, client.connect())
+            self.client_margos.append(margo)
+            self.clients.append(client)
+
+        config: Dict[str, Any] = {
+            "script": self.script,
+            "controller": self.controller,
+            "width": self.width,
+            "height": self.height,
+        }
+        if self.controller == "mpi":
+            self._provision_mpi_world()
+        drive(
+            sim,
+            self.deployment.deploy_pipeline(
+                self.client_margos[0], self.pipeline_name, self.library, config
+            ),
+            max_time=600,
+        )
+        self.handles = [
+            c.distributed_pipeline_handle(self.pipeline_name) for c in self.clients
+        ]
+        return self
+
+    def _provision_mpi_world(self) -> None:
+        daemons = sorted(self.deployment.live_daemons(), key=lambda d: d.address)
+        self.mpi_world = MpiWorld(
+            self.sim, self.deployment.fabric, len(daemons), profile=self.mpi_profile,
+            procs_per_node=self.server_procs_per_node, first_node=0,
+            name="colza-mpi-static",
+        )
+        for rank, daemon in enumerate(daemons):
+            MPI_COMM_REGISTRY[daemon.margo.name] = self.mpi_world.comm_world(rank)
+
+    # ------------------------------------------------------------------
+    def add_server_with_pipeline(self, node_index: int) -> Generator:
+        """Elastic scale-up: new daemon + pipeline instance (admin)."""
+        daemons = yield from self.add_servers_with_pipeline(1, node_index)
+        return daemons[0]
+
+    def add_servers_with_pipeline(self, count: int, node_index: int) -> Generator:
+        """Add ``count`` daemons on one node with a single srun, join
+        them concurrently, then deploy the pipeline on each."""
+        sim = self.sim
+        yield sim.timeout(self.cluster.launcher.srun_delay(count))
+        starts = []
+        daemons = []
+        for _ in range(count):
+            task = sim.spawn(
+                self.deployment.add_server(node_index, charge_launch=False),
+                name="elastic-add",
+            )
+            starts.append(task.join())
+        results = yield sim.all_of(starts)
+        daemons.extend(results)
+        admin = ColzaAdmin(self.client_margos[0])
+        config = {
+            "script": self.script,
+            "controller": self.controller,
+            "width": self.width,
+            "height": self.height,
+        }
+        for daemon in daemons:
+            yield from admin.create_pipeline(
+                daemon.address, self.pipeline_name, self.library, config
+            )
+        return daemons
+
+    # ------------------------------------------------------------------
+    def iteration_body(
+        self, iteration: int, blocks_per_client: Sequence[ClientBlocks]
+    ) -> Generator:
+        """activate (2PC, client 0) -> concurrent stage -> execute -> deactivate."""
+        sim = self.sim
+        lead = self.handles[0]
+        yield from lead.activate(iteration)
+        frozen = lead.frozen_view
+        tasks = []
+        for ci, blocks in enumerate(blocks_per_client):
+            handle = self.handles[ci]
+            handle.frozen_view = frozen
+            tasks.append(
+                sim.spawn(self._stage_all(handle, iteration, blocks), name=f"stage-c{ci}")
+            )
+        if tasks:
+            yield sim.all_of([t.join() for t in tasks])
+        yield from lead.execute(iteration)
+        yield from lead.deactivate(iteration)
+        return len(frozen)
+
+    @staticmethod
+    def _stage_all(handle, iteration: int, blocks: ClientBlocks) -> Generator:
+        for block_id, payload in blocks:
+            yield from handle.stage(iteration, block_id, payload, {"block_id": block_id})
+        return None
+
+    def run_iteration(
+        self, iteration: int, blocks_per_client: Sequence[ClientBlocks]
+    ) -> IterationTiming:
+        """Drive one iteration to completion and collect its timings."""
+        sim = self.sim
+        n_servers = drive(
+            sim, self.iteration_body(iteration, blocks_per_client), max_time=100000
+        )
+        timing = IterationTiming(
+            iteration=iteration,
+            activate=_last(sim, "colza.activate", iteration),
+            stage_total=sum(sim.trace.durations("colza.stage", iteration=iteration)),
+            stage_mean=_mean(sim.trace.durations("colza.stage", iteration=iteration)),
+            execute=_last(sim, "colza.execute", iteration),
+            deactivate=_last(sim, "colza.deactivate", iteration),
+            n_servers=n_servers,
+        )
+        self.timings.append(timing)
+        return timing
+
+
+def _last(sim: Simulation, name: str, iteration: int) -> float:
+    durations = sim.trace.durations(name, iteration=iteration)
+    return durations[-1] if durations else 0.0
+
+
+def _mean(durations: List[float]) -> float:
+    return sum(durations) / len(durations) if durations else 0.0

@@ -1,0 +1,56 @@
+"""Plain-text table reporting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["Table", "fmt_seconds", "fmt_us"]
+
+
+def fmt_us(seconds: float) -> str:
+    """Seconds -> microseconds string."""
+    return f"{seconds * 1e6:.3f}"
+
+
+def fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.3f}"
+
+
+class Table:
+    """A printable results table with aligned columns."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+    def save(self, name: str, directory: str = "results") -> str:
+        """Write the rendered table to ``<directory>/<name>.txt``."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(self.render() + "\n")
+        return path

@@ -1,0 +1,120 @@
+"""The Colza admin library (§II-B, last paragraph).
+
+Kept separate from the client library "because of the entirely
+different nature of its functionalities": creating/destroying
+pipelines on servers and requesting that a server leave the staging
+area. Usable by the simulation, the user, a resource manager, or any
+agent that wants to resize the staging area or change the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.margo import MargoInstance, Provider
+from repro.na.address import Address
+
+__all__ = ["AdminProvider", "ColzaAdmin"]
+
+
+class AdminProvider(Provider):
+    """Server-side admin RPCs, attached next to the Colza provider."""
+
+    def __init__(self, margo: MargoInstance, colza_provider, daemon=None):
+        super().__init__(margo, "colza-admin")
+        self.colza = colza_provider
+        self.daemon = daemon
+        self.colza.on_ready_to_leave = self._spawn_departure
+        self.export("create_pipeline", self._rpc_create)
+        self.export("destroy_pipeline", self._rpc_destroy)
+        self.export("leave", self._rpc_leave)
+
+    def _rpc_create(self, input: Dict[str, Any]) -> Generator:
+        yield self.margo.sim.timeout(0)
+        self.colza.create_pipeline(
+            library=input["library"], name=input["name"], config=input.get("config")
+        )
+        return "created"
+
+    def _rpc_destroy(self, input: Dict[str, Any]) -> Generator:
+        yield self.margo.sim.timeout(0)
+        self.colza.destroy_pipeline(input["name"])
+        return "destroyed"
+
+    def _rpc_leave(self, _input: Any) -> Generator:
+        yield self.margo.sim.timeout(0)
+        now = self.colza.request_leave()
+        if now:
+            # Finish the RPC first, then depart (migrating any state).
+            self._spawn_departure()
+            return "leaving"
+        return "deferred"
+
+    def _spawn_departure(self) -> None:
+        self.margo.sim.spawn(self._depart(), name="colza-depart")
+
+    def _depart(self) -> Generator:
+        """Migrate stateful pipelines' state to a survivor, then leave
+        (the paper's future work (3))."""
+        survivors = [a for a in self.colza.view() if a != self.margo.address]
+        for name, pipeline in list(self.colza.pipelines.items()):
+            if not getattr(pipeline, "stateful", False):
+                continue
+            state = pipeline.get_state()
+            if state is None or not survivors:
+                continue
+            successor = survivors[0]
+            yield from self.margo.provider_call(
+                successor, "colza", "migrate", {"pipeline": name, "state": state}
+            )
+        if self.daemon is not None:
+            yield from self.daemon.leave()
+        return None
+
+
+class ColzaAdmin:
+    """Client-side admin handle (a thin RPC wrapper)."""
+
+    def __init__(self, margo: MargoInstance):
+        self.margo = margo
+
+    def create_pipeline(
+        self,
+        server: Address,
+        name: str,
+        library: str,
+        config: Optional[dict] = None,
+    ) -> Generator:
+        """Deploy a pipeline on one server (address, name, library path,
+        optional JSON-like configuration — the paper's signature)."""
+        return (
+            yield from self.margo.provider_call(
+                server,
+                "colza-admin",
+                "create_pipeline",
+                {"name": name, "library": library, "config": config or {}},
+            )
+        )
+
+    def create_pipeline_everywhere(
+        self,
+        servers: List[Address],
+        name: str,
+        library: str,
+        config: Optional[dict] = None,
+    ) -> Generator:
+        """Deploy a (parallel) pipeline instance on every server."""
+        for server in servers:
+            yield from self.create_pipeline(server, name, library, config)
+        return "created"
+
+    def destroy_pipeline(self, server: Address, name: str) -> Generator:
+        return (
+            yield from self.margo.provider_call(
+                server, "colza-admin", "destroy_pipeline", {"name": name}
+            )
+        )
+
+    def request_leave(self, server: Address) -> Generator:
+        """Ask one server to leave the staging area and shut down."""
+        return (yield from self.margo.provider_call(server, "colza-admin", "leave", {}))

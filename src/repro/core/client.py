@@ -1,0 +1,379 @@
+"""The Colza client library: pipeline handles.
+
+Simulation processes interact with pipelines through either a
+:class:`PipelineHandle` (one specific server) or — the normal path — a
+:class:`DistributedPipelineHandle` referencing the pipeline instances
+on every staging server (§II-B):
+
+- ``activate``   drives the client-coordinated 2PC that pins the
+  eventually-consistent SSG view into a frozen, agreed view;
+- ``stage``      sends a memory handle + metadata to *one* server,
+  selected by the block-distribution policy, which then RDMA-pulls;
+- ``execute`` / ``deactivate`` broadcast to all frozen-view servers.
+
+Non-blocking variants return background tasks (``i*`` methods), like
+the C++ API's request objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.distribution import get_policy
+from repro.margo import MargoInstance
+from repro.mercury import RpcError
+from repro.na.address import Address
+from repro.na.payload import payload_nbytes
+from repro.sim.kernel import Task
+from repro.ssg import GroupFile
+
+__all__ = ["ColzaClient", "DistributedPipelineHandle", "PipelineHandle"]
+
+
+class ColzaClient:
+    """A connection to the staging area from one simulation process."""
+
+    def __init__(self, margo: MargoInstance, group_file: GroupFile):
+        self.margo = margo
+        self.group_file = group_file
+        self.view: List[Address] = []
+
+    # ------------------------------------------------------------------
+    def connect(self) -> Generator:
+        """Fetch the current membership view from any live server."""
+        last_error: Optional[Exception] = None
+        for candidate in self.group_file.candidates():
+            try:
+                view = yield from self.margo.provider_call(
+                    candidate, "colza", "get_view", timeout=1.0
+                )
+            except RpcError as err:
+                last_error = err
+                continue
+            self.view = list(view)
+            return self.view
+        raise RpcError(f"no staging server reachable: {last_error}")
+
+    def refresh_view(self) -> Generator:
+        return (yield from self.connect())
+
+    def pipeline_handle(self, server: Address, name: str) -> "PipelineHandle":
+        return PipelineHandle(self, server, name)
+
+    def distributed_pipeline_handle(
+        self, name: str, policy: str = "block_id_mod"
+    ) -> "DistributedPipelineHandle":
+        return DistributedPipelineHandle(self, name, policy=policy)
+
+
+class PipelineHandle:
+    """Handle on one pipeline instance in one specific server."""
+
+    def __init__(self, client: ColzaClient, server: Address, name: str):
+        self.client = client
+        self.server = server
+        self.name = name
+
+    def _call(self, method: str, input: dict, nbytes: Optional[int] = None) -> Generator:
+        return (
+            yield from self.client.margo.provider_call(
+                self.server, "colza", method, input, nbytes=nbytes
+            )
+        )
+
+    def activate(self, iteration: int) -> Generator:
+        """Single-participant activate (prepare + commit on one server).
+
+        The server still enforces its 2PC view check, so this only
+        succeeds when it believes it is the entire group — the
+        single-server deployments the paper's API also supports.
+        """
+        vote = yield from self._call(
+            "activate_prepare",
+            {"pipeline": self.name, "iteration": iteration, "view": [self.server]},
+        )
+        if vote["vote"] != "yes":
+            raise RuntimeError(
+                f"single-server activate refused: {vote.get('reason')} "
+                f"(server view: {vote.get('view')})"
+            )
+        return (
+            yield from self._call(
+                "activate_commit", {"pipeline": self.name, "iteration": iteration}
+            )
+        )
+
+    def stage(
+        self, iteration: int, block_id: int, payload: Any, metadata: Optional[dict] = None
+    ) -> Generator:
+        handle = self.client.margo.expose(payload)
+        return (
+            yield from self._call(
+                "stage",
+                {
+                    "pipeline": self.name,
+                    "iteration": iteration,
+                    "block_id": block_id,
+                    "metadata": metadata or {},
+                    "handle": handle,
+                },
+                nbytes=256,  # the RPC ships a handle, not the data
+            )
+        )
+
+    def execute(self, iteration: int) -> Generator:
+        return (yield from self._call("execute", {"pipeline": self.name, "iteration": iteration}))
+
+    def deactivate(self, iteration: int) -> Generator:
+        return (yield from self._call("deactivate", {"pipeline": self.name, "iteration": iteration}))
+
+
+class DistributedPipelineHandle:
+    """Handle on the pipeline instances across all staging servers."""
+
+    MAX_ACTIVATE_RETRIES = 50
+    #: Deadline for 2PC/control RPCs — a crashed member must not hang
+    #: the protocol (fault tolerance, the paper's future work (1)).
+    CONTROL_TIMEOUT = 5.0
+
+    def __init__(self, client: ColzaClient, name: str, policy: str = "block_id_mod"):
+        self.client = client
+        self.name = name
+        self.policy = get_policy(policy)
+        #: The frozen view agreed at the last successful activate.
+        self.frozen_view: Tuple[Address, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def margo(self) -> MargoInstance:
+        return self.client.margo
+
+    def _broadcast(
+        self,
+        method: str,
+        input: dict,
+        timeout: Optional[float] = None,
+        tolerate_errors: bool = False,
+    ) -> Generator:
+        """Issue an RPC to every server in the frozen view, concurrently.
+
+        With ``tolerate_errors`` each result may be an exception object
+        instead of propagating. Without it, the first failure raises
+        immediately (fail-fast): a member that crashed mid-execute must
+        not stall the client behind its never-answered RPC. Failures in
+        the remaining in-flight calls are absorbed, never orphaned.
+        """
+        sim = self.margo.sim
+        servers = list(self.frozen_view)
+        if not servers:
+            return []
+        results: dict = {}
+        remaining = [len(servers)]
+        complete = sim.event(f"{method}.complete")
+        failure = sim.event(f"{method}.failure")
+
+        def one(server):
+            try:
+                result = yield from self.margo.provider_call(
+                    server, "colza", method, input, timeout=timeout
+                )
+            except RpcError as err:
+                if not tolerate_errors:
+                    if not failure.fired:
+                        failure.succeed((server, err))
+                    return
+                result = err
+            results[server] = result
+            remaining[0] -= 1
+            if remaining[0] == 0 and not complete.fired:
+                complete.succeed()
+
+        for server in servers:
+            sim.spawn(one(server), name=f"colza-{method}@{server}")
+        idx, value = yield sim.any_of([complete, failure])
+        if idx == 1:
+            server, err = value
+            raise RpcError(f"{method} failed at {server}: {err}")
+        return [results[s] for s in servers]
+
+    # ------------------------------------------------------------------
+    def activate(self, iteration: int) -> Generator:
+        """2PC activate: agree on a frozen view, then commit everywhere."""
+        if not self.client.view:
+            yield from self.client.connect()
+        sim = self.margo.sim
+        span = sim.trace.begin("colza.activate", pipeline=self.name, iteration=iteration)
+        proposed = tuple(sorted(self.client.view))
+        for attempt in range(self.MAX_ACTIVATE_RETRIES):
+            payload = {
+                "pipeline": self.name,
+                "iteration": iteration,
+                "view": list(proposed),
+            }
+
+            def prepare_one(server):
+                try:
+                    vote = yield from self.margo.provider_call(
+                        server, "colza", "activate_prepare", payload,
+                        timeout=self.CONTROL_TIMEOUT,
+                    )
+                    return vote
+                except RpcError:
+                    # Unreachable member: treat as a no-vote; SWIM will
+                    # eventually remove it from everyone's views.
+                    return {"vote": "no", "reason": "unreachable", "dead": server}
+
+            tasks = [
+                sim.spawn(prepare_one(server), name="colza-prepare")
+                for server in proposed
+            ]
+            votes = yield sim.all_of([t.join() for t in tasks])
+            if all(v["vote"] == "yes" for v in votes):
+                self.frozen_view = proposed
+                self.client.view = list(proposed)
+                yield from self._broadcast(
+                    "activate_commit",
+                    {"pipeline": self.name, "iteration": iteration},
+                    timeout=self.CONTROL_TIMEOUT,
+                )
+                sim.trace.end(span, attempts=attempt + 1)
+                return list(self.frozen_view)
+            # Abort the prepared servers, adopt a dissenting view, retry.
+            self.frozen_view = proposed
+            yield from self._broadcast(
+                "activate_abort",
+                {"pipeline": self.name, "iteration": iteration},
+                timeout=self.CONTROL_TIMEOUT,
+                tolerate_errors=True,
+            )
+            dead = {v["dead"] for v in votes if v.get("reason") == "unreachable"}
+            adopted = False
+            for vote in votes:
+                if vote["vote"] == "no" and "view" in vote:
+                    proposed = tuple(sorted(set(vote["view"]) - dead))
+                    adopted = True
+                    break
+            if not adopted and dead:
+                proposed = tuple(a for a in proposed if a not in dead)
+                if not proposed:
+                    raise RpcError("activate: no reachable staging servers")
+            yield sim.timeout(0.05 * (attempt + 1))
+            # Re-read a fresh view occasionally in case of churn.
+            if attempt % 5 == 4:
+                yield from self.client.refresh_view()
+                proposed = tuple(sorted(set(self.client.view) - dead))
+        sim.trace.end(span, failed=True)
+        raise RpcError(f"activate({iteration}) failed to reach agreement")
+
+    def stage(
+        self,
+        iteration: int,
+        block_id: int,
+        payload: Any,
+        metadata: Optional[dict] = None,
+    ) -> Generator:
+        """Stage one block to the policy-selected server."""
+        if not self.frozen_view:
+            raise RuntimeError("stage before activate")
+        sim = self.margo.sim
+        span = sim.trace.begin("colza.stage", pipeline=self.name, iteration=iteration)
+        server = self.policy(block_id, metadata or {}, list(self.frozen_view))
+        handle = self.margo.expose(payload)
+        result = yield from self.margo.provider_call(
+            server,
+            "colza",
+            "stage",
+            {
+                "pipeline": self.name,
+                "iteration": iteration,
+                "block_id": block_id,
+                "metadata": metadata or {},
+                "handle": handle,
+            },
+            nbytes=256,
+        )
+        sim.trace.end(span, nbytes=payload_nbytes(payload))
+        return result
+
+    def execute(self, iteration: int) -> Generator:
+        """Run the pipeline on all servers (collective on their side)."""
+        sim = self.margo.sim
+        span = sim.trace.begin("colza.execute", pipeline=self.name, iteration=iteration)
+        results = yield from self._broadcast(
+            "execute", {"pipeline": self.name, "iteration": iteration}
+        )
+        sim.trace.end(span)
+        return results
+
+    def deactivate(self, iteration: int) -> Generator:
+        sim = self.margo.sim
+        span = sim.trace.begin("colza.deactivate", pipeline=self.name, iteration=iteration)
+        results = yield from self._broadcast(
+            "deactivate", {"pipeline": self.name, "iteration": iteration}
+        )
+        self.frozen_view = ()
+        sim.trace.end(span)
+        return results
+
+    def abort(self, iteration: int) -> Generator:
+        """Best-effort teardown of a failed iteration.
+
+        Sends ``deactivate`` to every frozen-view member, tolerating
+        unreachable ones, then drops the frozen view. Used for fault
+        recovery: after an execute fails because a member died, abort
+        the iteration, refresh the view, and re-run it.
+        """
+        results = yield from self._broadcast(
+            "deactivate",
+            {"pipeline": self.name, "iteration": iteration},
+            timeout=self.CONTROL_TIMEOUT,
+            tolerate_errors=True,
+        )
+        self.frozen_view = ()
+        return results
+
+    def run_resilient_iteration(
+        self,
+        iteration: int,
+        blocks: Sequence[Tuple[int, Any]],
+        max_attempts: int = 5,
+    ) -> Generator:
+        """activate → stage → execute → deactivate, retrying the whole
+        iteration if a staging server dies mid-flight (the paper's
+        future-work fault tolerance, built from the existing pieces)."""
+        last_error: Optional[Exception] = None
+        for _ in range(max_attempts):
+            try:
+                view = yield from self.activate(iteration)
+                for block_id, payload in blocks:
+                    yield from self.stage(iteration, block_id, payload)
+                yield from self.execute(iteration)
+                yield from self.deactivate(iteration)
+                return view
+            except RpcError as err:
+                last_error = err
+                yield from self.abort(iteration)
+                yield self.margo.sim.timeout(1.0)
+                try:
+                    yield from self.client.refresh_view()
+                except RpcError:
+                    pass
+        raise RpcError(
+            f"iteration {iteration} failed after {max_attempts} attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # non-blocking variants
+    def iactivate(self, iteration: int) -> Task:
+        return self.margo.sim.spawn(self.activate(iteration), name="colza-iactivate")
+
+    def istage(self, iteration: int, block_id: int, payload: Any, metadata=None) -> Task:
+        return self.margo.sim.spawn(
+            self.stage(iteration, block_id, payload, metadata), name="colza-istage"
+        )
+
+    def iexecute(self, iteration: int) -> Task:
+        return self.margo.sim.spawn(self.execute(iteration), name="colza-iexecute")
+
+    def ideactivate(self, iteration: int) -> Task:
+        return self.margo.sim.spawn(self.deactivate(iteration), name="colza-ideactivate")

@@ -1,0 +1,103 @@
+"""Automatic resizing (the paper's future work (2) and §IV-B triggers).
+
+The paper lists several elasticity triggers — application-driven,
+user-driven, scheduler-driven — and leaves "automatic resizing as a
+response to performance constraints" to future work. This module
+implements it:
+
+- :class:`ElasticityPolicy` — a pure decision function with hysteresis:
+  keep the pipeline execution time inside a target band by growing or
+  shrinking the staging area, with a cooldown so the ~8 s join-init
+  spike doesn't trigger oscillation;
+- :class:`AutoScaler` — applies decisions to a live deployment through
+  the same mechanisms the paper uses (srun + SSG join to grow, admin
+  ``leave`` RPC to shrink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.core.admin import ColzaAdmin
+
+__all__ = ["AutoScaler", "Decision", "ElasticityPolicy"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    action: str  # "grow" | "shrink" | "hold"
+    reason: str
+    amount: int = 0
+
+
+@dataclass
+class ElasticityPolicy:
+    """Keep execute time within [target_low, target_high] seconds.
+
+    ``cooldown_iterations`` suppresses decisions right after a resize —
+    a freshly added server's first execution carries the VTK/Python
+    init spike and must not be mistaken for sustained load.
+    """
+
+    target_high: float = 10.0
+    target_low: float = 2.0
+    min_servers: int = 1
+    max_servers: int = 128
+    grow_step: int = 1
+    cooldown_iterations: int = 2
+
+    _cooldown: int = field(default=0, init=False)
+
+    def observe(self, execute_seconds: float, n_servers: int) -> Decision:
+        """Feed one iteration's execute time; get a scaling decision."""
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return Decision("hold", f"cooldown ({self._cooldown + 1} left)")
+        if execute_seconds > self.target_high and n_servers < self.max_servers:
+            amount = min(self.grow_step, self.max_servers - n_servers)
+            self._cooldown = self.cooldown_iterations
+            return Decision(
+                "grow", f"execute {execute_seconds:.1f}s > {self.target_high}s", amount
+            )
+        if execute_seconds < self.target_low and n_servers > self.min_servers:
+            self._cooldown = self.cooldown_iterations
+            return Decision(
+                "shrink", f"execute {execute_seconds:.1f}s < {self.target_low}s", 1
+            )
+        return Decision("hold", "within target band")
+
+    def reset(self) -> None:
+        self._cooldown = 0
+
+
+class AutoScaler:
+    """Applies policy decisions to a running ColzaExperiment."""
+
+    def __init__(self, experiment, policy: ElasticityPolicy, next_node: int):
+        self.experiment = experiment
+        self.policy = policy
+        self.next_node = next_node
+        self.decisions: List[Decision] = []
+
+    def step(self, execute_seconds: float) -> Generator:
+        """Observe one iteration and apply the resulting decision.
+
+        Returns the decision. Generator — growing/shrinking consumes
+        simulated time (srun, joins, leave RPCs).
+        """
+        n_servers = len(self.experiment.deployment.live_daemons())
+        decision = self.policy.observe(execute_seconds, n_servers)
+        self.decisions.append(decision)
+        if decision.action == "grow":
+            yield from self.experiment.add_servers_with_pipeline(
+                decision.amount, node_index=self.next_node
+            )
+            self.next_node += 1
+        elif decision.action == "shrink":
+            victim = max(
+                self.experiment.deployment.live_daemons(), key=lambda d: d.address
+            )
+            admin = ColzaAdmin(self.experiment.client_margos[0])
+            yield from admin.request_leave(victim.address)
+        return decision

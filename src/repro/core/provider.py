@@ -1,0 +1,217 @@
+"""The Colza provider: pipelines + membership + 2PC on the server side.
+
+One provider runs in each staging process. It exports the data-plane
+RPCs (`activate` 2PC, `stage`, `execute`, `deactivate`, `get_view`)
+under the ``"colza"`` provider name; the management RPCs live in the
+separate admin provider (:mod:`repro.core.admin`), mirroring the
+paper's split between the client library and the admin library.
+
+Freezing (§II-B): between a committed ``activate`` and its
+``deactivate``, the provider treats membership as frozen — leave
+requests are deferred and joins, though visible to SSG, only enter the
+pipeline's communicator at the *next* activate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.backend import Backend, StagedBlock, create_backend
+from repro.margo import MargoInstance, Provider
+from repro.na.address import Address
+from repro.na.payload import MemoryHandle
+from repro.ssg import SSGAgent
+
+__all__ = ["ColzaProvider", "mona_address_of"]
+
+
+def mona_address_of(margo_addr: Address) -> Address:
+    """The MoNA endpoint address of the daemon behind a Margo address.
+
+    Daemons register their Margo endpoint as ``<name>`` and their MoNA
+    endpoint as ``mona-<name>`` on the same node, so the mapping is a
+    pure function — every member can derive the communicator address
+    list from the SSG view without extra communication.
+    """
+    prefix, name = margo_addr.uri.rsplit("/", 1)
+    return Address(f"{prefix}/mona-{name}")
+
+
+class ColzaProvider(Provider):
+    """Per-process Colza service."""
+
+    def __init__(self, margo: MargoInstance, agent: SSGAgent, mona_instance):
+        super().__init__(margo, "colza")
+        self.agent = agent
+        self.mona = mona_instance
+        self.pipelines: Dict[str, Backend] = {}
+        #: (pipeline, iteration) pairs currently active (frozen).
+        self._active: set = set()
+        #: (pipeline, iteration) -> prepared view from 2PC phase 1.
+        self._prepared: Dict[Tuple[str, int], Tuple[Address, ...]] = {}
+        #: Leave was requested while frozen; honored at deactivate.
+        self._leave_deferred = False
+        self.leaving = False
+        #: Membership-change log (events observed via SSG).
+        self.membership_events: List[Tuple[float, str, Address]] = []
+
+        #: Called (by the admin provider) when a deferred leave becomes
+        #: actionable at deactivate time.
+        self.on_ready_to_leave = None
+
+        self.export("activate_prepare", self._rpc_activate_prepare)
+        self.export("migrate", self._rpc_migrate)
+        self.export("activate_commit", self._rpc_activate_commit)
+        self.export("activate_abort", self._rpc_activate_abort)
+        self.export("stage", self._rpc_stage)
+        self.export("execute", self._rpc_execute)
+        self.export("deactivate", self._rpc_deactivate)
+        self.export("get_view", self._rpc_get_view)
+
+        # React to membership changes (the paper's registered callbacks).
+        agent.observer = self._on_membership_change
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return self.margo.address
+
+    def view(self) -> List[Address]:
+        """This server's (eventually consistent) membership view."""
+        return self.agent.members()
+
+    @property
+    def frozen(self) -> bool:
+        return bool(self._active)
+
+    def _on_membership_change(self, event: str, member: Address) -> None:
+        self.membership_events.append((self.margo.sim.now, event, member))
+        if event != "died":
+            return
+        # Fault tolerance: a member crashed. Any pipeline whose frozen
+        # view contains it can never finish its collectives — abort the
+        # execution so the client gets an error instead of a hang.
+        for key in list(self._active):
+            name, _iteration = key
+            pipeline = self.pipelines.get(name)
+            if pipeline is not None and member in pipeline.current_view:
+                pipeline.abort_execution(f"member {member} died")
+
+    # ------------------------------------------------------------------
+    # pipeline management (called by the admin provider)
+    def create_pipeline(self, library: str, name: str, config: Optional[dict] = None) -> Backend:
+        if name in self.pipelines:
+            raise ValueError(f"pipeline {name!r} already exists")
+        backend = create_backend(library, self.margo, name, config)
+        backend.provider = self  # back-reference for comm building
+        self.pipelines[name] = backend
+        return backend
+
+    def destroy_pipeline(self, name: str) -> None:
+        backend = self.pipelines.pop(name, None)
+        if backend is not None:
+            backend.destroy()
+
+    def request_leave(self) -> bool:
+        """Ask this server to leave; deferred while frozen.
+
+        Returns True if the leave happens now, False if deferred.
+        """
+        if self.frozen:
+            self._leave_deferred = True
+            return False
+        self.leaving = True
+        return True
+
+    # ------------------------------------------------------------------
+    # 2PC (client-coordinated)
+    def _rpc_activate_prepare(self, input: dict) -> Generator:
+        yield self.margo.sim.timeout(0)
+        name = input["pipeline"]
+        iteration = input["iteration"]
+        proposed: Tuple[Address, ...] = tuple(input["view"])
+        if name not in self.pipelines:
+            return {"vote": "no", "reason": "no-such-pipeline", "view": self.view()}
+        if self.leaving:
+            return {"vote": "no", "reason": "leaving", "view": self.view()}
+        mine = tuple(self.view())
+        if mine != proposed:
+            return {"vote": "no", "reason": "view-mismatch", "view": list(mine)}
+        if any(key[0] == name for key in self._active):
+            return {"vote": "no", "reason": "already-active", "view": list(mine)}
+        self._prepared[(name, iteration)] = proposed
+        return {"vote": "yes"}
+
+    def _rpc_activate_commit(self, input: dict) -> Generator:
+        name = input["pipeline"]
+        iteration = input["iteration"]
+        key = (name, iteration)
+        view = self._prepared.pop(key, None)
+        if view is None:
+            raise RuntimeError(f"commit without prepare for {key}")
+        self._active.add(key)
+        pipeline = self.pipelines[name]
+        yield from pipeline.activate(iteration, list(view))
+        return "activated"
+
+    def _rpc_activate_abort(self, input: dict) -> Generator:
+        yield self.margo.sim.timeout(0)
+        self._prepared.pop((input["pipeline"], input["iteration"]), None)
+        return "aborted"
+
+    # ------------------------------------------------------------------
+    # data plane
+    def _rpc_stage(self, input: dict) -> Generator:
+        name = input["pipeline"]
+        iteration = input["iteration"]
+        if (name, iteration) not in self._active:
+            raise RuntimeError(
+                f"stage for inactive iteration {iteration} of {name!r}"
+            )
+        handle: MemoryHandle = input["handle"]
+        # Pull the data from the simulation's memory via RDMA (§II-B).
+        payload = yield self.margo.bulk_pull(handle)
+        block = StagedBlock(
+            block_id=input["block_id"], metadata=dict(input.get("metadata") or {}),
+            payload=payload,
+        )
+        pipeline = self.pipelines[name]
+        yield from pipeline.stage(iteration, block)
+        return "staged"
+
+    def _rpc_execute(self, input: dict) -> Generator:
+        name = input["pipeline"]
+        iteration = input["iteration"]
+        if (name, iteration) not in self._active:
+            raise RuntimeError(f"execute for inactive iteration {iteration} of {name!r}")
+        pipeline = self.pipelines[name]
+        yield from pipeline.execute(iteration)
+        return "executed"
+
+    def _rpc_deactivate(self, input: dict) -> Generator:
+        name = input["pipeline"]
+        iteration = input["iteration"]
+        key = (name, iteration)
+        pipeline = self.pipelines.get(name)
+        if pipeline is not None:
+            yield from pipeline.deactivate(iteration)
+        self._active.discard(key)
+        if not self._active and self._leave_deferred:
+            self._leave_deferred = False
+            self.leaving = True
+            if self.on_ready_to_leave is not None:
+                self.on_ready_to_leave()
+        return "deactivated"
+
+    def _rpc_migrate(self, input: dict) -> Generator:
+        """Receive a departing peer's pipeline state (future work (3))."""
+        yield self.margo.sim.timeout(0)
+        pipeline = self.pipelines.get(input["pipeline"])
+        if pipeline is None:
+            raise RuntimeError(f"migrate: no pipeline {input['pipeline']!r} here")
+        pipeline.merge_state(input["state"])
+        return "merged"
+
+    def _rpc_get_view(self, _input: Any) -> Generator:
+        yield self.margo.sim.timeout(0)
+        return self.view()

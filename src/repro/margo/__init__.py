@@ -1,0 +1,11 @@
+"""Margo-sim: Mercury + Argobots bound together, plus providers.
+
+Margo is the Mochi runtime glue: it hides Mercury's progress loop in an
+Argobots ULT and gives services a *provider* abstraction (a named
+object exporting RPCs). Colza servers, the SSG agents and the
+DataSpaces baseline are all Margo providers here.
+"""
+
+from repro.margo.instance import MargoInstance, Provider
+
+__all__ = ["MargoInstance", "Provider"]

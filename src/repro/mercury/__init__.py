@@ -1,0 +1,23 @@
+"""Mercury-sim: RPC and bulk transfer on top of NA.
+
+Mercury provides two things Colza depends on:
+
+- **RPC**: named procedures registered by a server, invoked by
+  ``forward(address, name, input)``; the response is awaited as an
+  event. Handlers are cooperative generators that may themselves
+  communicate, compute, or pull bulk data.
+- **Bulk**: RDMA-style transfer of registered memory regions,
+  referenced by :class:`~repro.na.payload.MemoryHandle` values carried
+  inside RPC arguments. This is the Colza ``stage`` data path: the
+  client exposes its buffer and the server pulls it.
+"""
+
+from repro.mercury.rpc import (
+    MercuryInstance,
+    RpcError,
+    RpcRequest,
+    RpcTimeout,
+    RpcUnknown,
+)
+
+__all__ = ["MercuryInstance", "RpcError", "RpcRequest", "RpcTimeout", "RpcUnknown"]

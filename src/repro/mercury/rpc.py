@@ -1,0 +1,199 @@
+"""The Mercury RPC engine.
+
+Each :class:`MercuryInstance` owns one NA endpoint and a dispatch loop
+(a ULT on the instance's xstream-of-record is attached later by Margo;
+at this layer the loop is a plain kernel task). RPC handlers are
+generators ``handler(instance, input) -> output``; whatever they return
+is shipped back to the caller. Exceptions raised by a handler travel
+back and re-raise at the call site as :class:`RpcError`.
+
+Wire accounting: every request/response carries a small header
+(:data:`RPC_HEADER_BYTES`) plus the pickled/declared size of its body,
+so RPC-heavy control paths (2PC, SSG gossip) cost realistic time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.na.address import Address
+from repro.na.costmodel import CostModel, get_cost_model
+from repro.na.fabric import Endpoint, Fabric, Message
+from repro.na.payload import MemoryHandle, payload_nbytes
+from repro.sim.kernel import AnyOf, Event, Simulation, Task
+
+__all__ = ["MercuryInstance", "RpcError", "RpcRequest", "RpcTimeout", "RpcUnknown", "RPC_HEADER_BYTES"]
+
+#: Fixed per-message RPC framing overhead, bytes.
+RPC_HEADER_BYTES = 64
+
+_RPC_TAG = "__hg_rpc__"
+
+
+class RpcError(RuntimeError):
+    """A handler raised; carries the remote exception's repr."""
+
+
+class RpcTimeout(RpcError):
+    """The response did not arrive within the caller's deadline."""
+
+
+class RpcUnknown(RpcError):
+    """The target had no handler registered under that name."""
+
+
+@dataclass
+class RpcRequest:
+    """On-the-wire request record."""
+
+    name: str
+    input: Any
+    reply_to: Address
+    reply_tag: str
+
+
+# Handler: generator function (instance, input) -> output.
+Handler = Callable[["MercuryInstance", Any], Generator]
+
+
+class MercuryInstance:
+    """One Mercury runtime: endpoint + RPC registry + dispatch loop."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        fabric: Fabric,
+        name: str,
+        node_index: int,
+        model: Optional[CostModel] = None,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.model = model or get_cost_model("mona")
+        self.endpoint: Endpoint = fabric.register(name, node_index, self.model)
+        self._handlers: Dict[str, Handler] = {}
+        self._reply_seq = itertools.count()
+        self._finalized = False
+        self._dispatch_task: Task = sim.spawn(self._dispatch_loop(), name=f"{name}.hg-dispatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return self.endpoint.address
+
+    @property
+    def node_index(self) -> int:
+        return self.endpoint.node_index
+
+    def register_rpc(self, rpc_name: str, handler: Handler) -> None:
+        """Install (or replace) the handler for ``rpc_name``."""
+        self._handlers[rpc_name] = handler
+
+    def deregister_rpc(self, rpc_name: str) -> None:
+        self._handlers.pop(rpc_name, None)
+
+    def registered(self, rpc_name: str) -> bool:
+        return rpc_name in self._handlers
+
+    # ------------------------------------------------------------------
+    # client side
+    def forward(
+        self,
+        dest: Address,
+        rpc_name: str,
+        input: Any = None,
+        nbytes: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Generator[Event, Any, Any]:
+        """Invoke ``rpc_name`` at ``dest``; yields until the response.
+
+        Use as ``result = yield from hg.forward(addr, "ping", arg)``.
+        Raises :class:`RpcTimeout` on deadline, :class:`RpcUnknown` for
+        unregistered names, :class:`RpcError` for remote failures.
+        """
+        if self._finalized:
+            raise RpcError(f"forward on finalized instance {self.name}")
+        reply_tag = f"reply-{self.name}-{next(self._reply_seq)}"
+        request = RpcRequest(rpc_name, input, self.endpoint.address, reply_tag)
+        body = RPC_HEADER_BYTES + (payload_nbytes(input) if nbytes is None else int(nbytes))
+        self.endpoint.send(dest, request, tag=_RPC_TAG, nbytes=body)
+
+        rx = self.endpoint.recv(tag=reply_tag)
+        if timeout is None:
+            msg: Message = yield rx
+        else:
+            idx, value = yield AnyOf(self.sim, [rx, self.sim.timeout(timeout)])
+            if idx == 1:
+                self.endpoint.cancel_recv(rx)
+                raise RpcTimeout(f"rpc {rpc_name!r} to {dest} timed out after {timeout}s")
+            msg = value
+        status, payload = msg.payload
+        if status == "ok":
+            return payload
+        if status == "unknown":
+            raise RpcUnknown(f"rpc {rpc_name!r} not registered at {dest}")
+        raise RpcError(f"rpc {rpc_name!r} at {dest} failed: {payload}")
+
+    # ------------------------------------------------------------------
+    # bulk
+    def expose(self, payload: Any) -> MemoryHandle:
+        """Register local memory for remote bulk access."""
+        return self.endpoint.expose(payload)
+
+    def bulk_pull(self, handle: MemoryHandle) -> Event:
+        """RDMA-get the remote region (fires with the payload)."""
+        return self.fabric.rdma_pull(self.endpoint, handle)
+
+    def bulk_push(self, handle: MemoryHandle, payload: Any) -> Event:
+        """RDMA-put ``payload`` into the remote region."""
+        return self.fabric.rdma_push(self.endpoint, handle, payload)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def finalize(self, quiesce: bool = False) -> None:
+        """Tear the instance down; pending dispatches are dropped.
+
+        ``quiesce=True`` models a crash: zombie handler tasks that try
+        to keep communicating hang silently instead of erroring."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self._dispatch_task.kill()
+        if quiesce:
+            self.fabric.quiesce(self.endpoint)
+        else:
+            self.fabric.deregister(self.endpoint)
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    # ------------------------------------------------------------------
+    # server side
+    def _dispatch_loop(self) -> Generator[Event, Any, None]:
+        while True:
+            msg: Message = yield self.endpoint.recv(tag=_RPC_TAG)
+            request: RpcRequest = msg.payload
+            self.sim.spawn(
+                self._run_handler(request),
+                name=f"{self.name}.rpc.{request.name}",
+            )
+
+    def _run_handler(self, request: RpcRequest) -> Generator[Event, Any, None]:
+        handler = self._handlers.get(request.name)
+        if handler is None:
+            yield self._respond(request, ("unknown", request.name))
+            return
+        try:
+            output = yield from handler(self, request.input)
+        except Exception as err:  # noqa: BLE001 - errors cross the wire
+            yield self._respond(request, ("err", repr(err)))
+            return
+        yield self._respond(request, ("ok", output))
+
+    def _respond(self, request: RpcRequest, wire: tuple) -> Event:
+        size = RPC_HEADER_BYTES + payload_nbytes(wire[1])
+        return self.endpoint.send(request.reply_to, wire, tag=request.reply_tag, nbytes=size)

@@ -1,0 +1,38 @@
+"""MoNA-sim: elastic collective communication on NA.
+
+MoNA is the paper's replacement for MPI inside the analysis stack. Its
+two defining properties, both reproduced here:
+
+1. **No world communicator.** A :class:`MonaComm` is built from an
+   explicit, ordered list of addresses (obtained from SSG); when
+   membership changes, you simply build a new communicator. Nothing
+   about process count is baked in at init time.
+2. **Argobots-friendly blocking.** Every blocking call is a generator
+   that yields the caller's core while waiting (contrast
+   :meth:`repro.argo.Xstream.spin_wait`, the MPI behaviour).
+
+Collective algorithms follow the MPICH-inspired trees the paper
+describes — binomial broadcast/gather, *simple binary-tree reduction*
+(§III-C1 calls MoNA's reduce naive), ring allgather, pairwise
+alltoall, dissemination barrier — so collective cost *emerges* from the
+calibrated p2p model plus per-hop software overhead.
+"""
+
+from repro.mona.comm import MonaComm
+from repro.mona.instance import MonaInstance
+from repro.mona.ops import BAND, BOR, BXOR, LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp
+
+__all__ = [
+    "BAND",
+    "BOR",
+    "BXOR",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "MonaComm",
+    "MonaInstance",
+    "PROD",
+    "ReduceOp",
+    "SUM",
+]

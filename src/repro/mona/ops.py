@@ -1,0 +1,56 @@
+"""Reduction operators for MoNA (and the MPI simulator).
+
+Operators act on NumPy arrays (elementwise), Python scalars, and
+:class:`~repro.na.payload.VirtualPayload` stand-ins (which pass through
+untouched — the DES still charges combine time from their size).
+Custom operators are plain callables wrapped in :class:`ReduceOp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.na.payload import VirtualPayload
+
+__all__ = ["BAND", "BOR", "BXOR", "LAND", "LOR", "MAX", "MIN", "PROD", "SUM", "ReduceOp"]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative binary operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    #: Whether the op requires integer inputs (bitwise family).
+    integer_only: bool = False
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        if isinstance(a, VirtualPayload) or isinstance(b, VirtualPayload):
+            # Virtual mode: no data to combine; keep the larger stand-in.
+            va = a if isinstance(a, VirtualPayload) else VirtualPayload(np.shape(a))
+            vb = b if isinstance(b, VirtualPayload) else VirtualPayload(np.shape(b))
+            return va if va.nbytes >= vb.nbytes else vb
+        if self.integer_only:
+            for operand in (a, b):
+                dtype = getattr(operand, "dtype", None)
+                if dtype is not None and not np.issubdtype(dtype, np.integer):
+                    raise TypeError(
+                        f"{self.name} requires integer operands, got {dtype}"
+                    )
+                if dtype is None and not isinstance(operand, (int, np.integer)):
+                    raise TypeError(f"{self.name} requires integer operands")
+        return self.fn(a, b)
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b)
+PROD = ReduceOp("prod", lambda a, b: a * b)
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b))
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b))
+BXOR = ReduceOp("bxor", lambda a, b: np.bitwise_xor(a, b), integer_only=True)
+BOR = ReduceOp("bor", lambda a, b: np.bitwise_or(a, b), integer_only=True)
+BAND = ReduceOp("band", lambda a, b: np.bitwise_and(a, b), integer_only=True)
+LOR = ReduceOp("lor", lambda a, b: np.logical_or(a, b))
+LAND = ReduceOp("land", lambda a, b: np.logical_and(a, b))

@@ -1,0 +1,32 @@
+"""An MPI simulator with vendor profiles (the paper's baselines).
+
+The paper compares MoNA against two **black-box** MPI implementations
+on Cori: Cray-mpich (vendor-optimized, uGNI-native) and OpenMPI. We
+model them the same way the paper treats them — as measured artifacts:
+
+- p2p uses the calibrated Table I curves (including OpenMPI's
+  rendezvous cliff at 16 KiB);
+- ``reduce``/``allreduce`` and friends use calibrated *collective* cost
+  functions anchored on Table II at 512 processes and scaled by tree
+  depth for other process counts (vendor collectives are opaque; we
+  don't pretend to know their algorithms).
+
+Semantics reproduce what matters for elasticity:
+
+- an :class:`MpiWorld` is created once with a fixed process count —
+  there is **no way to add ranks later** (``MPI_COMM_WORLD`` is
+  static). :meth:`MpiWorld.grow` raises, which is exactly the
+  limitation Colza exists to work around.
+- blocking calls *spin*: they hold the rank's core while waiting
+  (:meth:`repro.argo.Xstream.spin_wait`), the behaviour footnote 3 of
+  the paper contrasts with Argobots-aware MoNA.
+
+The interface intentionally mirrors :class:`repro.mona.MonaComm` so
+VTK/IceT controllers can be injected with either (the paper's
+dependency-injection design).
+"""
+
+from repro.mpi.comm import MpiComm
+from repro.mpi.world import MpiWorld, WorldFrozenError
+
+__all__ = ["MpiComm", "MpiWorld", "WorldFrozenError"]

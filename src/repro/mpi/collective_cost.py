@@ -1,0 +1,103 @@
+"""Calibrated collective cost functions for the black-box MPI vendors.
+
+Anchored on Table II (bxor reduce, 512 processes) and the Table I p2p
+curves. For process counts other than 512 the reduce anchors scale by
+relative tree depth ``log2(P)/log2(512)`` — vendor collectives are
+logarithmic in P for the message sizes the paper uses.
+
+Derived collectives are simple compositions documented inline; they
+only need to be *consistent and vendor-ranked* (Cray < OpenMPI), since
+no paper table constrains them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.na.costmodel import REDUCE_CALIBRATION_512, get_cost_model, interp_log_size
+
+__all__ = ["collective_time"]
+
+_US = 1e-6
+
+
+def _depth_factor(procs: int) -> float:
+    if procs <= 1:
+        return 0.0
+    return math.log2(procs) / math.log2(512)
+
+
+def _reduce_time(profile: str, procs: int, nbytes: int) -> float:
+    if procs <= 1:
+        return 0.0
+    anchors = REDUCE_CALIBRATION_512[profile]
+    return interp_log_size(anchors, max(nbytes, 1)) * _US * _depth_factor(procs)
+
+
+def _bcast_time(profile: str, procs: int, nbytes: int) -> float:
+    if procs <= 1:
+        return 0.0
+    model = get_cost_model(profile)
+    # Binomial tree: one p2p per level, ~20% software overhead.
+    return math.ceil(math.log2(procs)) * model.p2p_time(nbytes) * 1.2
+
+
+def _barrier_time(profile: str, procs: int, nbytes: int) -> float:
+    if procs <= 1:
+        return 0.0
+    model = get_cost_model(profile)
+    return math.ceil(math.log2(procs)) * model.p2p_time(8) * 1.5
+
+
+def _gather_time(profile: str, procs: int, nbytes: int) -> float:
+    """Binomial gather: data doubles each level toward the root."""
+    if procs <= 1:
+        return 0.0
+    model = get_cost_model(profile)
+    total = 0.0
+    for level in range(math.ceil(math.log2(procs))):
+        total += model.p2p_time(nbytes * (1 << level))
+    return total
+
+
+def _allgather_time(profile: str, procs: int, nbytes: int) -> float:
+    """Ring allgather: P-1 steps of one block each."""
+    if procs <= 1:
+        return 0.0
+    model = get_cost_model(profile)
+    return (procs - 1) * model.p2p_time(nbytes)
+
+
+def _alltoall_time(profile: str, procs: int, nbytes: int) -> float:
+    if procs <= 1:
+        return 0.0
+    model = get_cost_model(profile)
+    return (procs - 1) * model.p2p_time(nbytes)
+
+
+def _allreduce_time(profile: str, procs: int, nbytes: int) -> float:
+    # Vendor allreduce ~ reduce + bcast, slightly better than the naive sum.
+    return 0.9 * (_reduce_time(profile, procs, nbytes) + _bcast_time(profile, procs, nbytes))
+
+
+_TABLE: Dict[str, Callable[[str, int, int], float]] = {
+    "reduce": _reduce_time,
+    "allreduce": _allreduce_time,
+    "bcast": _bcast_time,
+    "barrier": _barrier_time,
+    "gather": _gather_time,
+    "scatter": _gather_time,  # symmetric tree, same volume profile
+    "allgather": _allgather_time,
+    "alltoall": _alltoall_time,
+    "split": _barrier_time,  # a split costs about an (allgather-ish) sync
+}
+
+
+def collective_time(profile: str, op: str, procs: int, nbytes: int) -> float:
+    """Seconds for one ``op`` over ``procs`` ranks moving ``nbytes``/rank."""
+    try:
+        fn = _TABLE[op]
+    except KeyError:
+        raise KeyError(f"no cost model for collective {op!r}") from None
+    return fn(profile, procs, nbytes)

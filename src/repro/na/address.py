@@ -1,0 +1,51 @@
+"""Endpoint addresses.
+
+An :class:`Address` is an opaque, immutable endpoint name, in the
+spirit of Mercury's ``na+ofi://...`` strings. Addresses are hashable
+and totally ordered so that membership lists can be sorted into a
+canonical order — MoNA communicators rely on this to agree on ranks
+without communication.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+__all__ = ["Address"]
+
+
+@total_ordering
+class Address:
+    """An immutable endpoint name, e.g. ``na+sim://nid00003/colza-7``."""
+
+    __slots__ = ("uri",)
+
+    def __init__(self, uri: str):
+        if not uri:
+            raise ValueError("empty address")
+        object.__setattr__(self, "uri", uri)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Address is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Address) and self.uri == other.uri
+
+    def __lt__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self.uri < other.uri
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __str__(self) -> str:
+        return self.uri
+
+    def __repr__(self) -> str:
+        return f"Address({self.uri!r})"
+
+    @classmethod
+    def make(cls, node_name: str, endpoint_name: str) -> "Address":
+        """Canonical URI for an endpoint on a node."""
+        return cls(f"na+sim://{node_name}/{endpoint_name}")

@@ -1,0 +1,275 @@
+"""The fabric: endpoint registry, message delivery, RDMA transfers.
+
+One :class:`Fabric` instance models the whole machine's interconnect
+(plus node-local shared memory). Every communicating library instance
+registers an :class:`Endpoint` with its own cost model; transit times
+then depend on (library, size, same-node?).
+
+Semantics:
+
+- ``send`` completes when the message lands in the destination mailbox
+  (one-way latency) — this matches how Table I counts a send/recv op.
+- Per (source, destination) delivery is FIFO: a later message never
+  overtakes an earlier one, the non-overtaking guarantee collective
+  algorithms rely on.
+- Sends to unknown/deregistered endpoints are silently dropped after
+  the transit time (datagram semantics); detecting peer death is the
+  SWIM layer's job, via timeouts.
+- ``rdma_pull`` fetches the payload behind a
+  :class:`~repro.na.payload.MemoryHandle` at bulk bandwidth — the
+  Colza ``stage`` data path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.na.address import Address
+from repro.na.costmodel import CostModel
+from repro.na.payload import MemoryHandle, payload_nbytes
+from repro.sim.kernel import Event, Simulation
+
+__all__ = ["Endpoint", "Fabric", "Message", "NAError", "ANY"]
+
+#: Wildcard for tag/source matching in ``recv``.
+ANY = None
+
+
+class NAError(RuntimeError):
+    """Network-abstraction protocol violation (bad registration etc.)."""
+
+
+@dataclass
+class Message:
+    """A delivered message."""
+
+    source: Address
+    dest: Address
+    tag: Hashable
+    payload: Any
+    nbytes: int
+    sent_at: float
+    arrived_at: float
+
+
+class _Mailbox:
+    """Pending messages + pending receivers with (tag, source) matching."""
+
+    __slots__ = ("messages", "receivers")
+
+    def __init__(self) -> None:
+        self.messages: Deque[Message] = deque()
+        # Each receiver: (tag_filter, source_filter, event)
+        self.receivers: Deque[Tuple[Hashable, Optional[Address], Event]] = deque()
+
+    @staticmethod
+    def _matches(msg: Message, tag: Hashable, source: Optional[Address]) -> bool:
+        return (tag is ANY or msg.tag == tag) and (source is ANY or msg.source == source)
+
+    def deliver(self, msg: Message) -> None:
+        for i, (tag, source, ev) in enumerate(self.receivers):
+            if ev.fired:
+                continue
+            if self._matches(msg, tag, source):
+                del self.receivers[i]
+                ev.succeed(msg)
+                return
+        self.messages.append(msg)
+
+    def receive(self, tag: Hashable, source: Optional[Address], ev: Event) -> None:
+        for i, msg in enumerate(self.messages):
+            if self._matches(msg, tag, source):
+                del self.messages[i]
+                ev.succeed(msg)
+                return
+        self.receivers.append((tag, source, ev))
+
+    def cancel(self, ev: Event) -> None:
+        self.receivers = deque(r for r in self.receivers if r[2] is not ev)
+
+
+class Endpoint:
+    """A registered network endpoint owned by one library instance."""
+
+    def __init__(self, fabric: "Fabric", address: Address, node_index: int, model: CostModel):
+        self.fabric = fabric
+        self.address = address
+        self.node_index = node_index
+        self.model = model
+        self.alive = True
+        #: True after a *crash* teardown: the owner process is gone, so
+        #: any still-scheduled operation silently never completes
+        #: (instead of erroring, which is reserved for API misuse).
+        self.quiesced = False
+        self._mailbox = _Mailbox()
+        # Bulk transfers serialize on the initiator's NIC: N concurrent
+        # RDMA pulls by one process queue behind each other (this is
+        # what makes Colza's `stage` cost ~100 ms when hundreds of
+        # clients hit a few servers at once — Fig. 9).
+        from repro.sim.resources import Resource
+
+        self._nic = Resource(fabric.sim, capacity=1, name=f"{address}.nic")
+
+    # Convenience pass-throughs -----------------------------------------
+    def send(self, dest: Address, payload: Any, tag: Hashable = 0, nbytes: Optional[int] = None) -> Event:
+        return self.fabric.send(self, dest, payload, tag=tag, nbytes=nbytes)
+
+    def recv(self, tag: Hashable = ANY, source: Optional[Address] = ANY) -> Event:
+        return self.fabric.recv(self, tag=tag, source=source)
+
+    def cancel_recv(self, ev: Event) -> None:
+        self._mailbox.cancel(ev)
+
+    def expose(self, payload: Any) -> MemoryHandle:
+        """RDMA-expose a local buffer."""
+        return MemoryHandle.expose(self.address, payload)
+
+    def pending_messages(self) -> int:
+        return len(self._mailbox.messages)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint {self.address} model={self.model.name}>"
+
+
+class Fabric:
+    """The machine-wide interconnect."""
+
+    def __init__(self, sim: Simulation):
+        self.sim = sim
+        self._endpoints: Dict[Address, Endpoint] = {}
+        # Per-(src, dst) FIFO horizon enforcing non-overtaking delivery.
+        self._fifo_horizon: Dict[Tuple[Address, Address], float] = {}
+        #: Counters: total messages / bytes moved (for reports).
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    def register(self, name: str, node_index: int, model: CostModel) -> Endpoint:
+        """Create an endpoint ``na+sim://nid<idx>/<name>``."""
+        address = Address.make(f"nid{node_index:05d}", name)
+        if address in self._endpoints:
+            raise NAError(f"address {address} already registered")
+        ep = Endpoint(self, address, node_index, model)
+        self._endpoints[address] = ep
+        return ep
+
+    def deregister(self, endpoint: Endpoint) -> None:
+        """Remove an endpoint; in-flight messages to it are dropped."""
+        endpoint.alive = False
+        self._endpoints.pop(endpoint.address, None)
+
+    def quiesce(self, endpoint: Endpoint) -> None:
+        """Crash teardown: deregister, and let any operation the dead
+        process's zombie tasks still issue hang forever silently."""
+        self.deregister(endpoint)
+        endpoint.quiesced = True
+
+    def lookup(self, address: Address) -> Optional[Endpoint]:
+        return self._endpoints.get(address)
+
+    def is_alive(self, address: Address) -> bool:
+        return address in self._endpoints
+
+    # ------------------------------------------------------------------
+    # messaging
+    def send(
+        self,
+        src: Endpoint,
+        dest: Address,
+        payload: Any,
+        tag: Hashable = 0,
+        nbytes: Optional[int] = None,
+    ) -> Event:
+        """Send; the returned event fires at delivery time.
+
+        ``nbytes`` overrides the computed payload size (used when a
+        small Python object stands in for a larger wire format).
+        """
+        if not src.alive:
+            if src.quiesced:
+                return Event(self.sim, name="send-from-dead")  # never fires
+            raise NAError(f"send from deregistered endpoint {src.address}")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        dest_ep = self._endpoints.get(dest)
+        same_node = dest_ep is not None and dest_ep.node_index == src.node_index
+        transit = src.model.p2p_time(size, same_node=same_node)
+
+        key = (src.address, dest)
+        arrive = max(self.sim.now + transit, self._fifo_horizon.get(key, 0.0))
+        self._fifo_horizon[key] = arrive
+
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+        done = Event(self.sim, name=f"send->{dest}")
+        msg = Message(
+            source=src.address,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            nbytes=size,
+            sent_at=self.sim.now,
+            arrived_at=arrive,
+        )
+
+        def arrive_cb() -> None:
+            target = self._endpoints.get(dest)
+            if target is not None and target.alive:
+                target._mailbox.deliver(msg)
+            # Dropped silently if the endpoint died in flight.
+            done.succeed(msg)
+
+        self.sim._schedule_at(arrive, arrive_cb)
+        return done
+
+    def recv(self, ep: Endpoint, tag: Hashable = ANY, source: Optional[Address] = ANY) -> Event:
+        """Receive the next matching message (fires with a Message)."""
+        if not ep.alive:
+            if ep.quiesced:
+                return Event(self.sim, name="recv-on-dead")  # never fires
+            raise NAError(f"recv on deregistered endpoint {ep.address}")
+        ev = Event(self.sim, name=f"recv@{ep.address}")
+        ep._mailbox.receive(tag, source, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # bulk (RDMA)
+    def rdma_pull(self, puller: Endpoint, handle: MemoryHandle) -> Event:
+        """Fetch the remote buffer behind ``handle`` (fires with payload).
+
+        Serialized on the puller's NIC: concurrent pulls queue.
+        """
+        owner_ep = self._endpoints.get(handle.owner)
+        same_node = owner_ep is not None and owner_ep.node_index == puller.node_index
+        cost = puller.model.rdma_time(handle.nbytes, same_node=same_node)
+        self.bytes_sent += handle.nbytes
+        return self._bulk_transfer(puller, cost, lambda: handle.payload, "rdma_pull")
+
+    def rdma_push(self, pusher: Endpoint, handle: MemoryHandle, payload: Any) -> Event:
+        """Write ``payload`` into the remote buffer behind ``handle``."""
+        owner_ep = self._endpoints.get(handle.owner)
+        same_node = owner_ep is not None and owner_ep.node_index == pusher.node_index
+        size = payload_nbytes(payload)
+        cost = pusher.model.rdma_time(size, same_node=same_node)
+        self.bytes_sent += size
+
+        def apply() -> Any:
+            handle.payload = payload
+            return payload
+
+        return self._bulk_transfer(pusher, cost, apply, "rdma_push")
+
+    def _bulk_transfer(self, initiator: Endpoint, cost: float, finish, name: str) -> Event:
+        done = Event(self.sim, name=name)
+        if initiator.quiesced:
+            return done  # dead initiator: transfer never completes
+
+        def body():
+            yield from initiator._nic.use(cost)
+            done.succeed(finish())
+
+        self.sim.spawn(body(), name=name)
+        return done

@@ -1,0 +1,125 @@
+"""Payload helpers: size accounting, virtual payloads, RDMA memory handles.
+
+The simulator moves payloads by reference (zero-copy, RDMA-style): a
+sender must not mutate a buffer until the matching receive/pull has
+completed, exactly as with real RDMA registration. Two payload kinds
+flow through the stack:
+
+- real data: NumPy arrays (or any object with ``nbytes``), used by the
+  examples and tests so pipelines do genuine computation;
+- :class:`VirtualPayload`: shape/dtype metadata only, used by the
+  paper-scale benchmarks so a 2 GB domain does not need 2 GB of RAM —
+  the DES charges transfer and compute time from the declared size.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.na.address import Address
+
+__all__ = ["MemoryHandle", "VirtualPayload", "payload_nbytes"]
+
+
+@dataclass(frozen=True)
+class VirtualPayload:
+    """A stand-in for an array: carries shape/dtype, no storage.
+
+    ``virtual`` payloads traverse the exact same code paths as real
+    arrays (staging, RDMA, compositing input sizes) so benchmark
+    timing exercises identical control flow.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str = "float64"
+
+    @property
+    def nbytes(self) -> int:
+        n = int(np.prod(self.shape)) if self.shape else 1
+        return n * np.dtype(self.dtype).itemsize
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def like(self) -> "VirtualPayload":
+        return self
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Wire size of a payload in bytes.
+
+    NumPy arrays and :class:`VirtualPayload` report exactly; ``bytes``
+    and ``bytearray`` report their length; anything else is priced at
+    its pickled size (the simulator's stand-in for serialization).
+    """
+    if payload is None:
+        return 0
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    # Containers are priced recursively (8-byte framing per element)
+    # rather than pickled, so collectives shipping dicts of big arrays
+    # don't pay real serialization cost inside the simulator.
+    if isinstance(payload, (list, tuple, set)):
+        return sum(payload_nbytes(p) + 8 for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) + 8 for k, v in payload.items())
+    if isinstance(payload, (int, float, complex, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class MemoryHandle:
+    """An RDMA-exposed region of a process's memory.
+
+    Created by the owner (``expose``), shipped inside RPC arguments (a
+    handle is tiny on the wire), and consumed by the remote side via
+    :meth:`repro.na.fabric.Fabric.rdma_pull` — the Colza ``stage`` data
+    path.
+    """
+
+    owner: Address
+    payload: Any
+    nbytes: int
+
+    @classmethod
+    def expose(cls, owner: Address, payload: Any) -> "MemoryHandle":
+        return cls(owner=owner, payload=payload, nbytes=payload_nbytes(payload))
+
+    @property
+    def is_virtual(self) -> bool:
+        return isinstance(self.payload, VirtualPayload)
+
+    def slice(self, offset_bytes: int, nbytes: int) -> "MemoryHandle":
+        """A sub-handle onto [offset, offset+nbytes) of this region.
+
+        RDMA can address any part of a registered region; consumers use
+        this to pull exactly the byte range they need (e.g. the SST
+        engine's slab redistribution). NumPy payloads are sliced as
+        views (zero-copy); virtual payloads shrink their declared size.
+        """
+        if offset_bytes < 0 or nbytes < 0 or offset_bytes + nbytes > self.nbytes:
+            raise ValueError(
+                f"slice [{offset_bytes}, {offset_bytes + nbytes}) outside "
+                f"region of {self.nbytes} bytes"
+            )
+        if isinstance(self.payload, VirtualPayload):
+            return MemoryHandle(self.owner, VirtualPayload((nbytes,), "uint8"), nbytes)
+        if isinstance(self.payload, np.ndarray):
+            flat = self.payload.reshape(-1).view(np.uint8)
+            view = flat[offset_bytes : offset_bytes + nbytes]
+            itemsize = self.payload.dtype.itemsize
+            if offset_bytes % itemsize == 0 and nbytes % itemsize == 0:
+                view = view.view(self.payload.dtype)
+            return MemoryHandle(self.owner, view, nbytes)
+        raise TypeError(f"cannot slice payload of type {type(self.payload)}")

@@ -1,0 +1,22 @@
+"""PMIx-sim: run-time resource requests to the job scheduler.
+
+§II-F: "The scientific application itself, or even existing processes
+of the staging area, could request such addition, provided that a
+mechanism is available for them to request resources. This could be
+implemented for example using PMIx." §IV-A adds that schedulers are
+growing resize capabilities and could prioritize expanding existing
+jobs.
+
+This package implements that mechanism against the cluster model:
+
+- :class:`ResourceManager` — owns the machine's free-node pool; grants
+  FIFO-queued allocation requests after a scheduler-decision latency,
+  and reclaims released nodes;
+- :class:`PmixClient` — the per-application handle
+  (``PMIx_Allocation_request``-style): ask for N nodes, get node
+  indices back (possibly after waiting for capacity).
+"""
+
+from repro.pmix.resmgr import AllocationDenied, PmixClient, ResourceManager
+
+__all__ = ["AllocationDenied", "PmixClient", "ResourceManager"]

@@ -1,0 +1,130 @@
+"""The resource manager and its PMIx-style client."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, List, Optional, Set, Tuple
+
+from repro.sim.kernel import Event, Simulation
+from repro.sim.platform import Cluster
+
+__all__ = ["AllocationDenied", "PmixClient", "ResourceManager"]
+
+
+class AllocationDenied(RuntimeError):
+    """The scheduler refused the request (over limit, or non-blocking
+    request with no capacity)."""
+
+
+class ResourceManager:
+    """FIFO node allocator over a :class:`Cluster`.
+
+    Parameters
+    ----------
+    managed_nodes:
+        Node indices the scheduler may hand out (defaults to all).
+    decision_latency_s:
+        Mean scheduler decision time per grant; actual draws are
+        lognormal around it (real schedulers don't answer instantly,
+        which is part of Fig. 4's point about full restarts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        managed_nodes: Optional[List[int]] = None,
+        decision_latency_s: float = 1.0,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        nodes = managed_nodes if managed_nodes is not None else list(range(len(cluster)))
+        self._free: List[int] = sorted(nodes)
+        self._allocated: Set[int] = set()
+        self.decision_latency_s = decision_latency_s
+        self._queue: Deque[Tuple[int, Event]] = deque()
+        #: Totals for reports.
+        self.grants = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _decision_delay(self) -> float:
+        rng = self.sim.rng.stream("pmix.decision")
+        return self.decision_latency_s * float(rng.lognormal(0.0, 0.4))
+
+    # ------------------------------------------------------------------
+    def allocate(self, count: int, blocking: bool = True) -> Generator:
+        """Request ``count`` nodes; returns their indices.
+
+        Blocking requests queue FIFO until capacity frees up;
+        non-blocking ones raise :class:`AllocationDenied` when the pool
+        can't satisfy them immediately.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > len(self._free) + len(self._allocated):
+            raise AllocationDenied(
+                f"request for {count} nodes exceeds the machine ({len(self._free) + len(self._allocated)} managed)"
+            )
+        yield self.sim.timeout(self._decision_delay())
+        if len(self._free) < count:
+            if not blocking:
+                raise AllocationDenied(
+                    f"{count} nodes requested, {len(self._free)} free"
+                )
+            grant = Event(self.sim, name="pmix-grant")
+            self._queue.append((count, grant))
+            nodes = yield grant
+            return nodes
+        return self._grant(count)
+
+    def _grant(self, count: int) -> List[int]:
+        nodes = self._free[:count]
+        del self._free[:count]
+        self._allocated.update(nodes)
+        self.grants += 1
+        return nodes
+
+    def release(self, nodes: List[int]) -> None:
+        """Return nodes to the pool, waking queued requests in order."""
+        for node in nodes:
+            if node not in self._allocated:
+                raise ValueError(f"node {node} was not allocated by this manager")
+            self._allocated.discard(node)
+            self._free.append(node)
+        self._free.sort()
+        self.releases += 1
+        while self._queue and len(self._free) >= self._queue[0][0]:
+            count, grant = self._queue.popleft()
+            if grant.fired:
+                continue
+            grant.succeed(self._grant(count))
+
+
+class PmixClient:
+    """An application's handle for run-time resource requests."""
+
+    def __init__(self, manager: ResourceManager, job_name: str = "job"):
+        self.manager = manager
+        self.job_name = job_name
+        self.held: List[int] = []
+
+    def request_nodes(self, count: int, blocking: bool = True) -> Generator:
+        """PMIx_Allocation_request: grow this job by ``count`` nodes."""
+        nodes = yield from self.manager.allocate(count, blocking=blocking)
+        self.held.extend(nodes)
+        return nodes
+
+    def return_nodes(self, nodes: List[int]) -> None:
+        """Give nodes back (scale-down)."""
+        for node in nodes:
+            self.held.remove(node)
+        self.manager.release(nodes)

@@ -1,0 +1,449 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulation` owns a simulated clock and a priority queue of
+pending event firings. Concurrency is expressed with plain Python
+generators: a *task* is a generator that ``yield``\\ s :class:`Event`
+objects to block and is resumed with the event's value once it fires.
+Sub-routines compose with ``yield from`` and may ``return`` values.
+
+Determinism: events scheduled for the same simulated time fire in
+schedule order (a monotonically increasing sequence number breaks
+ties), so a given program produces an identical trace on every run.
+
+Example
+-------
+>>> sim = Simulation()
+>>> def worker(sim, out):
+...     yield sim.timeout(2.5)
+...     out.append(sim.now)
+>>> out = []
+>>> _ = sim.spawn(worker(sim, out))
+>>> sim.run()
+>>> out
+[2.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Killed",
+    "Simulation",
+    "SimulationError",
+    "Task",
+]
+
+# A task body: a generator yielding Events and returning an arbitrary value.
+Coroutine = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level protocol violations (e.g. double-firing
+    an event, yielding a non-event, running a finished simulation)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a task by :meth:`Task.interrupt`.
+
+    The interrupted task may catch it to clean up; ``cause`` carries
+    the interrupter's reason object.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Killed(Exception):
+    """Recorded as the outcome of a task removed with :meth:`Task.kill`."""
+
+
+class Event:
+    """A one-shot occurrence tasks can wait on.
+
+    An event starts *pending*; it is fired exactly once, either with a
+    value (:meth:`succeed`) or with an exception (:meth:`fail`). Tasks
+    blocked on it are resumed with the value, or have the exception
+    thrown into them. Waiting on an already-fired event resumes the
+    waiter immediately (at the current simulated time, after currently
+    scheduled events) — there is no "missed wakeup".
+    """
+
+    __slots__ = ("sim", "name", "_value", "_exc", "_fired", "_callbacks")
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    @property
+    def fired(self) -> bool:
+        """Whether the event has already been triggered."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True once the event fired successfully."""
+        return self._fired and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (raises if pending or failed)."""
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    # firing
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, resuming all waiters."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event with an exception, thrown into all waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(None, exc)
+        return self
+
+    def _trigger(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        # Callbacks run through the scheduler (same timestamp), never
+        # synchronously: the firing task runs to its next yield before
+        # any waiter resumes, and long wake-up chains stay iterative
+        # (no Python recursion, however deep the dependency graph).
+        for cb in callbacks:
+            self.sim._schedule_call(lambda cb=cb: cb(self))
+
+    # ------------------------------------------------------------------
+    # waiting
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Invoke ``cb(event)`` when the event fires (immediately via the
+        scheduler if it already fired)."""
+        if self._fired:
+            # Preserve run-to-completion semantics: defer to the loop.
+            self.sim._schedule_call(lambda: cb(self))
+        else:
+            self._callbacks.append(cb)
+
+    def discard_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback if still pending."""
+        try:
+            self._callbacks.remove(cb)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class AllOf(Event):
+    """Fires once every child event has fired successfully.
+
+    Value is the list of child values in the order given. If any child
+    fails, this event fails with that child's exception (first failure
+    wins).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event], name: str = "all_of"):
+        super().__init__(sim, name)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            sim._schedule_call(lambda: self.succeed([]))
+            return
+        for ev in self._children:
+            ev.add_callback(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._fired:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires.
+
+    Value is ``(index, value)`` of the first child to fire; a failing
+    first child fails this event.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event], name: str = "any_of"):
+        super().__init__(sim, name)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._children):
+            ev.add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if self._fired:
+                return
+            if ev.ok:
+                self.succeed((idx, ev._value))
+            else:
+                self.fail(ev._exc)  # type: ignore[arg-type]
+
+        return cb
+
+
+class Task:
+    """A running coroutine, resumable by the kernel.
+
+    Tasks are created through :meth:`Simulation.spawn`. A task's
+    completion is itself awaitable via :meth:`join` (or by yielding
+    ``task.done`` directly).
+    """
+
+    __slots__ = ("sim", "name", "gen", "done", "_waiting_on", "_resume_cb")
+
+    def __init__(self, sim: "Simulation", gen: Coroutine, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "task")
+        self.gen = gen
+        #: Event fired with the task's return value (or failure).
+        self.done = Event(sim, name=f"{self.name}.done")
+        self._waiting_on: Optional[Event] = None
+        self._resume_cb: Optional[Callable[[Event], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the task has run to completion (or been killed)."""
+        return self.done.fired
+
+    def join(self) -> Event:
+        """Event that fires with the task's return value."""
+        return self.done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the task at its current yield.
+
+        No-op if the task already finished. The task may catch the
+        interrupt and continue.
+        """
+        if self.finished:
+            return
+        self._detach()
+        self.sim._schedule_call(lambda: self._step(None, Interrupt(cause)))
+
+    def kill(self) -> None:
+        """Forcibly terminate the task; ``done`` fails with :class:`Killed`.
+
+        Used by the platform model for process/"node" teardown (e.g. the
+        static-restart experiment of Fig. 4).
+        """
+        if self.finished:
+            return
+        self._detach()
+        self.gen.close()
+        self.done.fail(Killed(f"task {self.name} killed"))
+
+    # ------------------------------------------------------------------
+    # kernel internals
+    def _detach(self) -> None:
+        if self._waiting_on is not None and self._resume_cb is not None:
+            self._waiting_on.discard_callback(self._resume_cb)
+        self._waiting_on = None
+        self._resume_cb = None
+
+    def _start(self) -> None:
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.finished:
+            return
+        self.sim._current_task = self
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Killed as killed:
+            self.done.fail(killed)
+            return
+        except BaseException as err:
+            self.done.fail(err)
+            if self.sim.strict:
+                raise
+            return
+        finally:
+            self.sim._current_task = None
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"task {self.name!r} yielded {target!r}; tasks must yield Event objects"
+            )
+            self.done.fail(err)
+            raise err
+        self._waiting_on = target
+
+        def resume(ev: Event, _task=self) -> None:
+            _task._waiting_on = None
+            _task._resume_cb = None
+            if ev.ok:
+                _task._step(ev._value, None)
+            else:
+                _task._step(None, ev._exc)
+
+        self._resume_cb = resume
+        target.add_callback(resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Task {self.name!r} {state}>"
+
+
+class Simulation:
+    """The event loop: simulated clock + deterministic scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-owned :class:`~repro.sim.rng.RngRegistry`
+        (named deterministic random streams).
+    strict:
+        When true (default), an uncaught exception in any task aborts
+        :meth:`run`; when false, the failure is recorded on the task's
+        ``done`` event only.
+    """
+
+    def __init__(self, seed: int = 0, strict: bool = True):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.strict = strict
+        self._current_task: Optional[Task] = None
+        self.tasks: list[Task] = []
+        # Deferred import keeps kernel importable standalone.
+        from repro.sim.rng import RngRegistry
+
+        self.rng = RngRegistry(seed)
+        from repro.sim.trace import Tracer
+
+        self.trace = Tracer(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def current_task(self) -> Optional[Task]:
+        """The task currently executing (None outside task context)."""
+        return self._current_task
+
+    # ------------------------------------------------------------------
+    # construction of events
+    def event(self, name: str = "") -> Event:
+        """A fresh manual event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """Event firing ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        ev = Event(self, name)
+        self._schedule_at(self._now + delay, lambda: ev.succeed(value))
+        return ev
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Combinator: fires when all ``events`` fired (list of values)."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Combinator: fires on the first of ``events`` ((index, value))."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # task management
+    def spawn(self, gen: Coroutine, name: str = "") -> Task:
+        """Create a task from a generator and schedule its first step."""
+        task = Task(self, gen, name)
+        self.tasks.append(task)
+        self._schedule_call(task._start)
+        return task
+
+    def spawn_at(self, when: float, gen: Coroutine, name: str = "") -> Task:
+        """Spawn a task whose first step runs at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"spawn_at({when}) is in the past (now={self._now})")
+        task = Task(self, gen, name)
+        self.tasks.append(task)
+        self._schedule_at(when, task._start)
+        return task
+
+    # ------------------------------------------------------------------
+    # the loop
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time at which the run stopped. The clock
+        is advanced to ``until`` when given, even if the queue drained
+        earlier.
+        """
+        while self._queue:
+            when, _, call = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            call()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Process a single scheduled call; False when queue is empty."""
+        if not self._queue:
+            return False
+        when, _, call = heapq.heappop(self._queue)
+        self._now = when
+        call()
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled call, or None if idle."""
+        return self._queue[0][0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # kernel internals
+    def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (when, next(self._seq), call))
+
+    def _schedule_call(self, call: Callable[[], None]) -> None:
+        self._schedule_at(self._now, call)

@@ -1,0 +1,121 @@
+"""FIFO resources with capacity, used to model serially-shared hardware.
+
+An execution stream (core) is ``Resource(sim, capacity=1)``: compute
+requests on the same core serialize, which is how the Argobots layer
+models "a ULT occupies its xstream while computing" and how the MPI
+simulator models "a blocking MPI call spins on its core".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional
+
+from repro.sim.kernel import Event, Simulation
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A capacity-limited FIFO server.
+
+    Usage from a task::
+
+        grant = yield resource.acquire()
+        try:
+            yield sim.timeout(cost)
+        finally:
+            resource.release(grant)
+
+    or the one-shot helper ``yield from resource.use(cost)``.
+    """
+
+    def __init__(self, sim: Simulation, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Cumulative busy integral for utilization reporting.
+        self._busy_since: Optional[float] = None
+        self._busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of currently held grants."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of tasks waiting for a grant."""
+        return len(self._waiters)
+
+    def busy_time(self) -> float:
+        """Total simulated time during which at least one grant was held."""
+        total = self._busy_time
+        if self._busy_since is not None:
+            total += self.sim.now - self._busy_since
+        return total
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> Event:
+        """Event granting a unit of capacity (fires FIFO)."""
+        ev = Event(self.sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, _grant: object = None) -> None:
+        """Return a unit of capacity, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev.fired:
+                continue  # cancelled waiter
+            self._grant(ev)
+            break
+
+    def use(self, duration: float) -> Generator[Event, object, None]:
+        """Acquire, hold for ``duration`` simulated seconds, release.
+
+        Interrupt-safe: an interrupt while queued withdraws the pending
+        acquire (releasing the grant if it raced in); an interrupt while
+        holding releases the grant.
+        """
+        grant_ev = self.acquire()
+        try:
+            yield grant_ev
+        except BaseException:
+            if grant_ev.fired:
+                self.release()
+            else:
+                self.cancel(grant_ev)
+            raise
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending acquire (no-op if already granted)."""
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _grant(self, ev: Event) -> None:
+        if self._in_use == 0 and self._busy_since is None:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        ev.succeed(self)

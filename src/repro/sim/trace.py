@@ -1,0 +1,108 @@
+"""Lightweight span/counter tracing for experiments.
+
+The benchmark harness reads per-call durations (e.g. Fig. 9's
+``activate``/``stage``/``execute``/``deactivate`` breakdown) from the
+tracer rather than instrumenting call sites ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """A named interval of simulated time with free-form tags."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans and counters against the simulated clock."""
+
+    def __init__(self, sim: "Any"):
+        self._sim = sim
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, **tags: Any) -> Span:
+        """Open a span at the current simulated time."""
+        span = Span(name=name, start=self._sim.now, tags=dict(tags))
+        if self.enabled:
+            self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **tags: Any) -> Span:
+        """Close a span at the current simulated time."""
+        span.end = self._sim.now
+        span.tags.update(tags)
+        return span
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a named counter."""
+        if self.enabled:
+            self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    def find(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Finished spans matching name and all given tag values."""
+        for span in self.spans:
+            if span.name != name or span.end is None:
+                continue
+            if all(span.tags.get(k) == v for k, v in tags.items()):
+                yield span
+
+    def durations(self, name: str, **tags: Any) -> List[float]:
+        """Durations of all matching finished spans."""
+        return [s.duration for s in self.find(name, **tags)]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.counters.clear()
+
+    # ------------------------------------------------------------------
+    # export / summaries
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Finished spans as plain dicts (JSON-serializable tags only
+        if the caller kept them so)."""
+        return [
+            {"name": s.name, "start": s.start, "end": s.end, "tags": dict(s.tags)}
+            for s in self.spans
+            if s.end is not None
+        ]
+
+    def to_json(self, path: str) -> str:
+        """Write finished spans + counters to a JSON file."""
+        import json
+
+        payload = {"spans": self.to_records(), "counters": dict(self.counters)}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        return path
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregate: count, total and mean duration."""
+        agg: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            if span.end is None:
+                continue
+            entry = agg.setdefault(span.name, {"count": 0, "total": 0.0})
+            entry["count"] += 1
+            entry["total"] += span.duration
+        for entry in agg.values():
+            entry["mean"] = entry["total"] / entry["count"]
+        return agg

@@ -1,0 +1,33 @@
+"""SSG-sim: scalable service groups over the SWIM gossip protocol.
+
+Mochi's SSG gives Colza its elastic group membership: daemons join by
+contacting any existing member, leave gracefully (or die and are
+detected), and every member converges — *eventually* — on the same
+view. The eventual (not immediate) consistency is why Colza adds a 2PC
+round at ``activate`` (see :mod:`repro.core.twopc`).
+
+This package implements SWIM itself (Das, Gupta, Motivala, DSN'02), as
+the paper's SSG does:
+
+- periodic round-robin **ping** probing with a per-probe timeout;
+- **ping-req** indirect probes through ``k`` proxies before suspicion;
+- **suspicion** with refutation by incarnation numbers;
+- **piggy-backed dissemination** of membership updates on probe
+  traffic, each update relayed O(log n) times;
+- **join** via any member (full view transfer) and graceful **leave**.
+"""
+
+from repro.ssg.agent import GroupFile, SSGAgent, converged
+from repro.ssg.config import SwimConfig
+from repro.ssg.view import MemberState, MembershipView, Status, Update
+
+__all__ = [
+    "GroupFile",
+    "MemberState",
+    "MembershipView",
+    "SSGAgent",
+    "Status",
+    "SwimConfig",
+    "Update",
+    "converged",
+]

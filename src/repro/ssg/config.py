@@ -1,0 +1,45 @@
+"""SWIM protocol parameters.
+
+Defaults are calibrated so that a single join propagates to every
+member of a ~10-process group in roughly 1–2 seconds, matching the
+paper's Fig. 4 (elastic resize ≈ 5 s including the ~3.5 s srun launch)
+and §II-E (group-change overhead "in the order of a second" at
+``activate``). The paper itself notes the overhead "depends on SSG's
+configuration parameters such as how frequently information is
+exchanged" — these are those parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SwimConfig"]
+
+
+@dataclass(frozen=True)
+class SwimConfig:
+    #: Protocol period: one probe per member per period (seconds).
+    period: float = 0.25
+    #: Direct-ping ack deadline within a period (seconds).
+    ping_timeout: float = 0.08
+    #: Number of proxies used for indirect ping-req probes.
+    k_indirect: int = 3
+    #: Indirect-probe ack deadline (seconds).
+    ping_req_timeout: float = 0.15
+    #: How long a member stays suspected before being declared dead.
+    suspect_timeout: float = 2.0
+    #: Max membership updates piggy-backed per protocol message.
+    max_piggyback: int = 8
+    #: Dissemination multiplier: each update is relayed
+    #: ceil(lambda * log2(n + 1)) times.
+    dissemination_lambda: float = 3.0
+    #: Random jitter applied to each protocol period (fraction of period).
+    jitter: float = 0.1
+    #: Approximate wire size of one serialized membership update (bytes).
+    update_wire_bytes: int = 48
+
+    def transmissions_for(self, group_size: int) -> int:
+        """How many times a fresh update should be piggy-backed."""
+        import math
+
+        return max(1, math.ceil(self.dissemination_lambda * math.log2(group_size + 1)))

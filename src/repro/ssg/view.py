@@ -1,0 +1,131 @@
+"""SWIM membership state: per-member records and update precedence.
+
+This module is pure logic (no simulation dependencies) so the SWIM
+precedence rules can be property-tested in isolation. The rules follow
+the SWIM paper's order of overriding:
+
+- ``ALIVE(inc=i)``   overrides ``ALIVE(j)`` and ``SUSPECT(j)`` iff ``i > j``
+  (a member refutes suspicion by incrementing its incarnation);
+- ``SUSPECT(inc=i)`` overrides ``ALIVE(j)`` iff ``i >= j`` and
+  ``SUSPECT(j)`` iff ``i > j``;
+- ``DEAD``/``LEFT``  override everything and are terminal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.na.address import Address
+
+__all__ = ["MemberState", "MembershipView", "Status", "Update"]
+
+
+class Status(enum.Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    LEFT = "left"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (Status.DEAD, Status.LEFT)
+
+
+@dataclass(frozen=True)
+class Update:
+    """A disseminated membership assertion."""
+
+    status: Status
+    member: Address
+    incarnation: int
+
+    def overrides(self, state: Optional["MemberState"]) -> bool:
+        """Whether this update supersedes the current local record."""
+        if state is None:
+            # Unknown member: any assertion is news. A terminal update
+            # about an unknown member is still recorded (tombstone) so
+            # that stale ALIVE gossip cannot resurrect it.
+            return True
+        if state.status.terminal:
+            return False
+        if self.status in (Status.DEAD, Status.LEFT):
+            return True
+        if self.status is Status.ALIVE:
+            return self.incarnation > state.incarnation
+        if self.status is Status.SUSPECT:
+            if state.status is Status.ALIVE:
+                return self.incarnation >= state.incarnation
+            return self.incarnation > state.incarnation
+        raise AssertionError(self.status)  # pragma: no cover
+
+
+@dataclass
+class MemberState:
+    """Local record about one member."""
+
+    status: Status
+    incarnation: int
+
+
+class MembershipView:
+    """One agent's (eventually consistent) picture of the group."""
+
+    def __init__(self, self_address: Address):
+        self.self_address = self_address
+        self._members: Dict[Address, MemberState] = {
+            self_address: MemberState(Status.ALIVE, 0)
+        }
+
+    # ------------------------------------------------------------------
+    def alive(self) -> List[Address]:
+        """Sorted addresses currently believed alive (incl. suspects,
+        which SWIM still treats as members until declared dead)."""
+        return sorted(
+            addr
+            for addr, st in self._members.items()
+            if st.status in (Status.ALIVE, Status.SUSPECT)
+        )
+
+    def status_of(self, member: Address) -> Optional[Status]:
+        state = self._members.get(member)
+        return state.status if state else None
+
+    def incarnation_of(self, member: Address) -> int:
+        state = self._members.get(member)
+        return state.incarnation if state else -1
+
+    def contains(self, member: Address) -> bool:
+        state = self._members.get(member)
+        return state is not None and not state.status.terminal
+
+    def size(self) -> int:
+        return len(self.alive())
+
+    # ------------------------------------------------------------------
+    def apply(self, update: Update) -> bool:
+        """Apply an update; returns True if it changed the view."""
+        state = self._members.get(update.member)
+        if not update.overrides(state):
+            return False
+        # Terminal updates win regardless of incarnation; keep the
+        # highest incarnation seen so the record stays monotone.
+        incarnation = update.incarnation
+        if state is not None:
+            incarnation = max(incarnation, state.incarnation)
+        self._members[update.member] = MemberState(update.status, incarnation)
+        return True
+
+    def snapshot_updates(self) -> List[Update]:
+        """The full view as a list of updates (sent to joiners)."""
+        return [
+            Update(state.status, addr, state.incarnation)
+            for addr, state in sorted(self._members.items())
+        ]
+
+    def forget_terminal(self, member: Address) -> None:
+        """Drop a tombstone (used by tests / long-running groups)."""
+        state = self._members.get(member)
+        if state is not None and state.status.terminal:
+            del self._members[member]

@@ -1,0 +1,19 @@
+"""State-of-the-art staging baselines the paper compares against (Fig. 8).
+
+- :mod:`repro.staging.damaris` — Damaris in "dedicated nodes" mode:
+  one MPI application whose ``MPI_COMM_WORLD`` is split into clients
+  and servers; each client writes to its assigned server and fires
+  ``damaris_signal`` independently, so servers enter the plugin
+  *uncoordinated* — the early ones stall in the plugin's first
+  collective (spinning, it's MPI) until the stragglers arrive. The
+  paper cites exactly this as Damaris' handicap.
+- :mod:`repro.staging.dataspaces` — DataSpaces after its Margo
+  refactor: a separate staging service with RDMA puts and a
+  *coordinated* execute (one trigger fanned out), running the same
+  MPI-based pipeline as Colza+MPI.
+"""
+
+from repro.staging.damaris import DamarisDeployment
+from repro.staging.dataspaces import DataSpacesDeployment
+
+__all__ = ["DamarisDeployment", "DataSpacesDeployment"]

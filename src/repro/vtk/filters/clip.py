@@ -1,0 +1,126 @@
+"""Plane clipping of triangle surfaces (vtkClipPolyData).
+
+Keeps the half-space where ``dot(p - origin, normal) >= 0``. Crossing
+triangles are split exactly: one kept vertex yields one triangle, two
+kept vertices yield two. Point fields are interpolated at the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.vtk.dataset import PolyData
+
+__all__ = ["clip_polydata"]
+
+
+def clip_polydata(
+    poly: PolyData,
+    origin: Sequence[float],
+    normal: Sequence[float],
+) -> PolyData:
+    """Clip ``poly`` by the plane (origin, normal), keeping the positive side."""
+    if poly.num_triangles == 0:
+        return PolyData.empty()
+    normal = np.asarray(normal, dtype=np.float64)
+    norm = np.linalg.norm(normal)
+    if norm == 0:
+        raise ValueError("zero clip normal")
+    normal = normal / norm
+    origin = np.asarray(origin, dtype=np.float64)
+
+    signed = (poly.points - origin) @ normal  # (N,)
+    keep_vertex = signed >= 0.0
+
+    tri_keep = keep_vertex[poly.triangles]  # (M, 3) bool
+    count = tri_keep.sum(axis=1)
+
+    pieces: List[PolyData] = []
+    full = poly.triangles[count == 3]
+    if len(full):
+        pieces.append(_subset(poly, full))
+
+    names = list(poly.point_data)
+    for kept in (1, 2):
+        rows = np.nonzero(count == kept)[0]
+        if rows.size == 0:
+            continue
+        pieces.append(_split_crossing(poly, rows, tri_keep[rows], signed, kept, names))
+    return PolyData.concatenate(pieces)
+
+
+def _subset(poly: PolyData, triangles: np.ndarray) -> PolyData:
+    """Re-index a triangle subset into a compact PolyData."""
+    used, inverse = np.unique(triangles.ravel(), return_inverse=True)
+    return PolyData(
+        poly.points[used],
+        inverse.reshape(-1, 3),
+        {name: vals[used] for name, vals in poly.point_data.items()},
+    )
+
+
+def _split_crossing(
+    poly: PolyData,
+    rows: np.ndarray,
+    keep_mask: np.ndarray,
+    signed: np.ndarray,
+    kept: int,
+    names: List[str],
+) -> PolyData:
+    """Split triangles with ``kept`` (1 or 2) vertices on the keep side."""
+    tris = poly.triangles[rows]  # (R, 3)
+    # Rotate each triangle so the "special" vertex is first: for kept=1
+    # the lone kept vertex, for kept=2 the lone dropped vertex.
+    special = keep_mask if kept == 1 else ~keep_mask
+    first = np.argmax(special, axis=1)  # index of the special vertex
+    order = (first[:, None] + np.arange(3)[None, :]) % 3
+    tris = np.take_along_axis(tris, order, axis=1)  # special vertex at column 0
+
+    v0, v1, v2 = tris[:, 0], tris[:, 1], tris[:, 2]
+    p0, p1, p2 = poly.points[v0], poly.points[v1], poly.points[v2]
+    s0, s1, s2 = signed[v0], signed[v1], signed[v2]
+
+    def cut(pa, pb, sa, sb):
+        t = sa / (sa - sb)
+        return pa + t[:, None] * (pb - pa), t
+
+    c01, t01 = cut(p0, p1, s0, s1)
+    c02, t02 = cut(p0, p2, s0, s2)
+
+    def lerp_fields(va, vb, t):
+        return {
+            name: poly.point_data[name][va] + t * (poly.point_data[name][vb] - poly.point_data[name][va])
+            for name in names
+        }
+
+    f0 = {name: poly.point_data[name][v0] for name in names}
+    f1 = {name: poly.point_data[name][v1] for name in names}
+    f2 = {name: poly.point_data[name][v2] for name in names}
+    f01 = lerp_fields(v0, v1, t01)
+    f02 = lerp_fields(v0, v2, t02)
+
+    if kept == 1:
+        # Keep the corner triangle (v0, c01, c02).
+        pts = np.concatenate([p0, c01, c02], axis=0)
+        fields = {
+            name: np.concatenate([f0[name], f01[name], f02[name]]) for name in names
+        }
+        ntri = len(rows)
+        tri = np.column_stack(
+            [np.arange(ntri), np.arange(ntri) + ntri, np.arange(ntri) + 2 * ntri]
+        )
+        return PolyData(pts, tri, fields)
+
+    # kept == 2: v0 dropped, quad (c01, v1, v2, c02) -> two triangles.
+    pts = np.concatenate([c01, p1, p2, c02], axis=0)
+    fields = {
+        name: np.concatenate([f01[name], f1[name], f2[name], f02[name]])
+        for name in names
+    }
+    ntri = len(rows)
+    i0 = np.arange(ntri)
+    tri_a = np.column_stack([i0, i0 + ntri, i0 + 2 * ntri])           # c01, v1, v2
+    tri_b = np.column_stack([i0, i0 + 2 * ntri, i0 + 3 * ntri])       # c01, v2, c02
+    return PolyData(pts, np.vstack([tri_a, tri_b]), fields)

@@ -1,0 +1,45 @@
+"""Block merging (vtkMergeBlocks) — the first stage of the DWI pipeline.
+
+Concatenates the unstructured grids of a multi-block dataset into one
+grid, offsetting connectivity. Fields present in every block are
+concatenated; others are dropped (with VTK's permissive semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.vtk.dataset import MultiBlockDataSet, UnstructuredGrid
+
+__all__ = ["merge_blocks"]
+
+
+def merge_blocks(multiblock: MultiBlockDataSet) -> UnstructuredGrid:
+    """Merge all non-empty blocks into a single UnstructuredGrid."""
+    blocks: List[UnstructuredGrid] = [
+        b for b in multiblock.non_empty() if isinstance(b, UnstructuredGrid)
+    ]
+    if not blocks:
+        return UnstructuredGrid(
+            np.zeros((0, 3)), np.zeros((0, 4), dtype=np.int64)
+        )
+    points = np.vstack([b.points for b in blocks])
+    offsets = np.cumsum([0] + [b.num_points for b in blocks[:-1]])
+    cells = np.vstack(
+        [b.cells + off for b, off in zip(blocks, offsets) if b.num_cells]
+        or [np.zeros((0, 4), dtype=np.int64)]
+    )
+    common_pt = set(blocks[0].point_data)
+    common_cell = set(blocks[0].cell_data)
+    for b in blocks[1:]:
+        common_pt &= set(b.point_data)
+        common_cell &= set(b.cell_data)
+    point_data = {
+        name: np.concatenate([b.point_data[name] for b in blocks]) for name in common_pt
+    }
+    cell_data = {
+        name: np.concatenate([b.cell_data[name] for b in blocks]) for name in common_cell
+    }
+    return UnstructuredGrid(points, cells, point_data, cell_data)

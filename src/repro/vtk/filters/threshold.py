@@ -1,0 +1,49 @@
+"""Cell thresholding of unstructured grids (vtkThreshold).
+
+Keeps cells whose field values fall within [lo, hi]. For point fields,
+VTK's default "all points must pass" criterion is used (``mode="all"``;
+``"any"`` also supported). Output points are compacted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.vtk.dataset import UnstructuredGrid
+
+__all__ = ["threshold"]
+
+
+def threshold(
+    grid: UnstructuredGrid,
+    field: str,
+    lo: float,
+    hi: float,
+    mode: str = "all",
+) -> UnstructuredGrid:
+    """Extract the cells of ``grid`` whose ``field`` lies in [lo, hi]."""
+    if mode not in ("all", "any"):
+        raise ValueError(f"mode must be 'all' or 'any', got {mode!r}")
+    if field in grid.cell_data:
+        values = np.asarray(grid.cell_data[field], dtype=np.float64)
+        keep = (values >= lo) & (values <= hi)
+    elif field in grid.point_data:
+        values = np.asarray(grid.point_data[field], dtype=np.float64)
+        per_corner = (values[grid.cells] >= lo) & (values[grid.cells] <= hi)
+        keep = per_corner.all(axis=1) if mode == "all" else per_corner.any(axis=1)
+    else:
+        raise KeyError(f"field {field!r} not found in point or cell data")
+
+    cells = grid.cells[keep]
+    used, inverse = np.unique(cells.ravel(), return_inverse=True) if cells.size else (
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+    )
+    return UnstructuredGrid(
+        grid.points[used],
+        inverse.reshape(-1, 4) if cells.size else np.zeros((0, 4), dtype=np.int64),
+        {name: vals[used] for name, vals in grid.point_data.items()},
+        {name: vals[keep] for name, vals in grid.cell_data.items()},
+    )

@@ -1,0 +1,78 @@
+"""Colormaps and opacity transfer functions (no matplotlib dependency)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["colormap", "opacity_ramp"]
+
+# Anchor colors (RGB in [0,1]) for the built-in maps.
+_MAPS = {
+    # A viridis-like perceptual ramp.
+    "viridis": np.array(
+        [
+            (0.267, 0.005, 0.329),
+            (0.283, 0.141, 0.458),
+            (0.254, 0.265, 0.530),
+            (0.207, 0.372, 0.553),
+            (0.164, 0.471, 0.558),
+            (0.128, 0.567, 0.551),
+            (0.135, 0.659, 0.518),
+            (0.267, 0.749, 0.441),
+            (0.478, 0.821, 0.318),
+            (0.741, 0.873, 0.150),
+            (0.993, 0.906, 0.144),
+        ]
+    ),
+    # Cool-to-warm diverging (the ParaView default for velocity).
+    "coolwarm": np.array(
+        [
+            (0.230, 0.299, 0.754),
+            (0.552, 0.690, 0.996),
+            (0.865, 0.865, 0.865),
+            (0.958, 0.603, 0.482),
+            (0.706, 0.016, 0.150),
+        ]
+    ),
+    "grayscale": np.array([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]),
+}
+
+
+def colormap(
+    values: np.ndarray,
+    name: str = "viridis",
+    vmin: float = 0.0,
+    vmax: float = 1.0,
+) -> np.ndarray:
+    """Map scalars to RGB; values clamped to [vmin, vmax]."""
+    try:
+        anchors = _MAPS[name]
+    except KeyError:
+        raise KeyError(f"unknown colormap {name!r}; known: {sorted(_MAPS)}") from None
+    values = np.asarray(values, dtype=np.float64)
+    if vmax <= vmin:
+        t = np.zeros_like(values)
+    else:
+        t = np.clip((values - vmin) / (vmax - vmin), 0.0, 1.0)
+    x = t * (len(anchors) - 1)
+    lo = np.floor(x).astype(int)
+    hi = np.minimum(lo + 1, len(anchors) - 1)
+    frac = (x - lo)[..., None]
+    return anchors[lo] * (1 - frac) + anchors[hi] * frac
+
+
+def opacity_ramp(
+    values: np.ndarray,
+    vmin: float,
+    vmax: float,
+    max_opacity: float = 0.9,
+    power: float = 1.0,
+) -> np.ndarray:
+    """A monotone opacity transfer function: 0 at vmin, max at vmax."""
+    values = np.asarray(values, dtype=np.float64)
+    if vmax <= vmin:
+        return np.zeros_like(values)
+    t = np.clip((values - vmin) / (vmax - vmin), 0.0, 1.0)
+    return max_opacity * t**power

@@ -1,0 +1,95 @@
+"""The composited image unit: RGBA + depth (+ brick ordering key)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CompositeImage"]
+
+
+@dataclass
+class CompositeImage:
+    """An RGBA framebuffer with a depth buffer.
+
+    - ``rgba``: (H, W, 4) float32 in [0, 1], premultiplied alpha.
+    - ``depth``: (H, W) float32 view-space depth; ``inf`` where empty.
+    - ``brick_depth``: scalar ordering key for translucent (over)
+      compositing — the view-space depth of the rank's data brick.
+    """
+
+    rgba: np.ndarray
+    depth: np.ndarray
+    brick_depth: float = 0.0
+
+    def __post_init__(self):
+        self.rgba = np.asarray(self.rgba, dtype=np.float32)
+        self.depth = np.asarray(self.depth, dtype=np.float32)
+        if self.rgba.ndim != 3 or self.rgba.shape[2] != 4:
+            raise ValueError(f"rgba must be (H, W, 4), got {self.rgba.shape}")
+        if self.depth.shape != self.rgba.shape[:2]:
+            raise ValueError(
+                f"depth shape {self.depth.shape} != image {self.rgba.shape[:2]}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def blank(cls, width: int, height: int, brick_depth: float = 0.0) -> "CompositeImage":
+        return cls(
+            rgba=np.zeros((height, width, 4), dtype=np.float32),
+            depth=np.full((height, width), np.inf, dtype=np.float32),
+            brick_depth=brick_depth,
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.depth.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self.rgba.nbytes + self.depth.nbytes
+
+    def coverage(self) -> float:
+        """Fraction of pixels with any content."""
+        return float(np.isfinite(self.depth).mean())
+
+    def copy(self) -> "CompositeImage":
+        return CompositeImage(self.rgba.copy(), self.depth.copy(), self.brick_depth)
+
+    # ------------------------------------------------------------------
+    def rows(self, start: int, stop: int) -> "CompositeImage":
+        """A view-slice of image rows [start, stop) (shares buffers)."""
+        return CompositeImage(self.rgba[start:stop], self.depth[start:stop], self.brick_depth)
+
+    def to_uint8(self, background: Tuple[float, float, float] = (0.0, 0.0, 0.0)) -> np.ndarray:
+        """Flatten onto a background color; returns (H, W, 3) uint8."""
+        bg = np.asarray(background, dtype=np.float32)
+        alpha = self.rgba[..., 3:4]
+        rgb = self.rgba[..., :3] + (1.0 - alpha) * bg
+        return (np.clip(rgb, 0, 1) * 255).astype(np.uint8)
+
+    def write_ppm(self, path: str, background: Tuple[float, float, float] = (0, 0, 0)) -> None:
+        """Write a binary PPM (no external imaging dependency needed)."""
+        rgb = self.to_uint8(background)
+        h, w, _ = rgb.shape
+        with open(path, "wb") as fh:
+            fh.write(f"P6\n{w} {h}\n255\n".encode())
+            fh.write(rgb.tobytes())
+
+
+def combine_zbuffer(a: CompositeImage, b: CompositeImage) -> CompositeImage:
+    """Per-pixel nearest-fragment wins (opaque geometry compositing)."""
+    take_b = b.depth < a.depth
+    rgba = np.where(take_b[..., None], b.rgba, a.rgba)
+    depth = np.where(take_b, b.depth, a.depth)
+    return CompositeImage(rgba, depth, min(a.brick_depth, b.brick_depth))
+
+
+def combine_over(front: CompositeImage, back: CompositeImage) -> CompositeImage:
+    """Front-to-back 'over' operator on premultiplied RGBA (volumes)."""
+    fa = front.rgba[..., 3:4]
+    rgba = front.rgba + (1.0 - fa) * back.rgba
+    depth = np.minimum(front.depth, back.depth)
+    return CompositeImage(rgba, depth, min(front.brick_depth, back.brick_depth))

@@ -1,0 +1,81 @@
+"""Smoke tests for the benchmark experiment drivers at tiny scales.
+
+The full paper-scale runs live in benchmarks/; these exercise the same
+code paths quickly so the regular test suite catches regressions in
+the experiment harnesses themselves.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_compositing,
+    ablation_reduce,
+    ablation_ssg,
+    fig1a_dwi_dataset,
+    fig4_resize,
+    fig7_dwi,
+    sec2e_activate,
+    table1_p2p,
+    table2_reduce,
+)
+
+
+def test_table1_smoke():
+    results = table1_p2p.run(ops=10)
+    assert set(results) == {"craympich", "openmpi", "mona", "na"}
+    assert results["craympich"][8] == pytest.approx(1.163e-6, rel=0.01)
+    assert len(results["na"]) == 3
+
+
+def test_fig1a_smoke():
+    results = fig1a_dwi_dataset.run(check_real_meshes=False)
+    assert len(results["cells_millions"]) == 30
+    assert results["cells_millions"][0] < results["cells_millions"][-1]
+
+
+def test_fig4_smoke():
+    results = fig4_resize.run(max_n=2, samples_per_n=1)
+    assert len(results["elastic"]) == 2
+    assert all(t > 0 for t in results["elastic"] + results["static"])
+    # Elastic beats static even in a two-sample smoke run.
+    assert sum(results["elastic"]) < sum(results["static"])
+
+
+def test_fig7_smoke():
+    results = fig7_dwi.run(scales=(8,), iterations=3, modes=("mona",))
+    series = results["mona"][8]
+    assert len(series) == 3
+    assert series[0] > series[1]  # init spike on the first iteration
+    with pytest.raises(ValueError):
+        fig7_dwi.run(scales=(8,), iterations=31)
+
+
+def test_sec2e_smoke():
+    results = sec2e_activate.run(n_servers=2)
+    assert results["unchanged"] < 0.01
+    assert results["changed_racing"] > results["unchanged"]
+
+
+def test_ablation_reduce_smoke():
+    # Use the module's internal measure at a small scale.
+    t_binary = ablation_reduce._measure("binary", 2048)
+    t_binomial = ablation_reduce._measure("binomial", 2048)
+    assert t_binomial < t_binary
+
+
+def test_ablation_ssg_smoke():
+    results = ablation_ssg.run(periods=(0.25,), n_servers=3, samples=1)
+    r = results[0.25]
+    assert r["join_time"] > 0
+    assert r["messages_per_member_per_s"] > 0
+
+
+def test_ablation_compositing_smoke():
+    results = ablation_compositing.run(scales=(2, 4))
+    assert results["bswap"][4]["bytes"] > 0
+    assert results["reduce"][4]["bytes"] > results["reduce"][2]["bytes"]
+
+
+def test_table2_calibration_dict_complete():
+    for lib, anchors in table2_reduce.PAPER_TABLE2_US.items():
+        assert set(anchors) == set(table2_reduce.SIZES)

@@ -1,0 +1,157 @@
+"""Fault-tolerance tests: unplanned server crashes (paper future work 1).
+
+The paper lists crash handling as future work; this reproduction
+implements it from the existing pieces: SWIM detects the death, the
+provider aborts hung executions, and the client's resilient iteration
+retries on the surviving view.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Deployment
+from repro.core.pipelines import IsoSurfaceScript
+from repro.mercury import RpcError
+from repro.sim import Simulation
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+from repro.vtk import ImageData
+
+FAST_SWIM = SwimConfig(period=0.2, suspect_timeout=1.0)
+
+
+def sphere_block(n=12, extent=1.5):
+    spacing = 2 * extent / (n - 1)
+    img = ImageData(dims=(n, n, n), origin=(-extent,) * 3, spacing=(spacing,) * 3)
+    coords = img.point_coords()
+    img.set_field("dist", np.linalg.norm(coords, axis=1).reshape(n, n, n))
+    return img
+
+
+def make_stack(sim, nservers):
+    deployment = Deployment(sim, swim_config=FAST_SWIM)
+    drive(sim, deployment.start_servers(nservers), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+    client_margo, client = deployment.make_client(node_index=40)
+    drive(sim, client.connect())
+    script = IsoSurfaceScript(field="dist", isovalues=[1.0])
+    drive(
+        sim,
+        deployment.deploy_pipeline(
+            client_margo, "render", "libcolza-iso.so",
+            {"script": script, "width": 32, "height": 32},
+        ),
+    )
+    return deployment, client_margo, client, client.distributed_pipeline_handle("render")
+
+
+def test_crash_between_iterations_recovered_by_next_activate():
+    sim = Simulation(seed=21)
+    deployment, _, client, handle = make_stack(sim, 3)
+    blocks = [(i, sphere_block()) for i in range(3)]
+
+    view1 = drive(sim, handle.run_resilient_iteration(1, blocks), max_time=3000)
+    assert len(view1) == 3
+
+    victim = deployment.live_daemons()[-1]
+    victim.crash()
+    # No waiting for SWIM here: the resilient iteration must sort it out.
+    view2 = drive(sim, handle.run_resilient_iteration(2, blocks), max_time=3000)
+    assert len(view2) == 2
+    assert victim.address not in view2
+
+
+def test_crash_during_execute_aborts_and_retries():
+    sim = Simulation(seed=22)
+    deployment, _, client, handle = make_stack(sim, 3)
+    blocks = [(i, sphere_block()) for i in range(3)]
+    drive(sim, handle.run_resilient_iteration(1, blocks), max_time=3000)
+
+    victim = deployment.live_daemons()[-1]
+
+    # Heavy virtual blocks: each server computes ~2 s before the final
+    # composite, so the crash lands mid-execution.
+    from repro.na import VirtualPayload
+
+    heavy = [(i, VirtualPayload((256, 256, 256), "int32")) for i in range(3)]
+
+    # Crash the victim shortly after execute begins (mid-collective).
+    def crasher():
+        yield sim.timeout(0.2)
+        victim.crash()
+
+    def body():
+        yield from handle.activate(2)
+        for block_id, payload in heavy:
+            yield from handle.stage(2, block_id, payload)
+        sim.spawn(crasher(), name="crasher")
+        yield from handle.execute(2)
+
+    with pytest.raises(RpcError, match="aborted|timed out"):
+        drive(sim, body(), max_time=3000)
+
+    # Recovery: abort, wait for SWIM, re-run the same iteration.
+    drive(sim, handle.abort(2), max_time=300)
+    view = drive(sim, handle.run_resilient_iteration(2, blocks), max_time=3000)
+    assert len(view) == 2
+    rank0 = min(deployment.live_daemons(), key=lambda d: d.address)
+    image = rank0.provider.pipelines["render"].last_results["image"]
+    assert image.coverage() > 0.0
+
+
+def test_resilient_iteration_image_matches_healthy_run():
+    """After losing a server, the recomputed image equals the pre-crash
+    one — correctness is preserved across failures."""
+    sim = Simulation(seed=23)
+    deployment, _, client, handle = make_stack(sim, 3)
+    blocks = [(i, sphere_block()) for i in range(4)]
+    drive(sim, handle.run_resilient_iteration(1, blocks), max_time=3000)
+    rank0 = min(deployment.live_daemons(), key=lambda d: d.address)
+    healthy = rank0.provider.pipelines["render"].last_results["image"].copy()
+
+    deployment.live_daemons()[-1].crash()
+    drive(sim, handle.run_resilient_iteration(2, blocks), max_time=3000)
+    rank0 = min(deployment.live_daemons(), key=lambda d: d.address)
+    recovered = rank0.provider.pipelines["render"].last_results["image"]
+    assert np.allclose(healthy.rgba, recovered.rgba, atol=1e-6)
+
+
+def test_stale_group_file_entry_tolerated_on_connect():
+    sim = Simulation(seed=24)
+    deployment, _, _, _ = make_stack(sim, 2)
+    victim = deployment.live_daemons()[0]
+    victim.crash()
+    assert victim.address in deployment.group_file.candidates()  # stale entry
+
+    margo, client = deployment.make_client(node_index=41)
+    view = drive(sim, client.connect(), max_time=300)
+    assert len(view) >= 1  # skipped the dead candidate, found a live one
+
+
+def test_all_servers_crashed_connect_fails():
+    sim = Simulation(seed=25)
+    deployment, _, _, _ = make_stack(sim, 2)
+    for daemon in deployment.live_daemons():
+        daemon.crash()
+    margo, client = deployment.make_client(node_index=41)
+    with pytest.raises(RpcError, match="no staging server"):
+        drive(sim, client.connect(), max_time=300)
+
+
+def test_abort_execution_without_inflight_is_remembered():
+    """An abort arriving before execute starts fails the execute fast
+    instead of hanging."""
+    sim = Simulation(seed=26)
+    deployment, _, client, handle = make_stack(sim, 2)
+    blocks = [(0, sphere_block())]
+
+    def body():
+        yield from handle.activate(1)
+        # Simulate: death detected right after activate, before execute.
+        for d in deployment.live_daemons():
+            d.provider.pipelines["render"].abort_execution("member gone")
+        yield from handle.stage(1, 0, blocks[0][1])
+        yield from handle.execute(1)
+
+    with pytest.raises(RpcError, match="aborted"):
+        drive(sim, body(), max_time=3000)

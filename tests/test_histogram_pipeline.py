@@ -1,0 +1,115 @@
+"""Tests for the distributed-histogram pipeline (the §II-C reduction
+example, generalized)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Deployment
+from repro.core.pipelines import HistogramScript
+from repro.na import VirtualPayload
+from repro.sim import Simulation
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+from repro.vtk import ImageData
+
+FAST_SWIM = SwimConfig(period=0.2, suspect_timeout=1.0)
+
+
+def block_of(values):
+    n = round(len(values) ** (1 / 3))
+    img = ImageData(dims=(n, n, n))
+    img.set_field("u", np.asarray(values, dtype=np.float64).reshape(n, n, n))
+    return img
+
+
+def make_stack(sim, nservers, script):
+    deployment = Deployment(sim, swim_config=FAST_SWIM)
+    drive(sim, deployment.start_servers(nservers), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+    client_margo, client = deployment.make_client(node_index=40)
+    drive(sim, client.connect())
+    drive(
+        sim,
+        deployment.deploy_pipeline(
+            client_margo, "hist", "libcolza-catalyst.so", {"script": script}
+        ),
+    )
+    return deployment, client.distributed_pipeline_handle("hist")
+
+
+def run_iteration(sim, handle, iteration, blocks):
+    def body():
+        yield from handle.activate(iteration)
+        for block_id, payload in blocks:
+            yield from handle.stage(iteration, block_id, payload)
+        yield from handle.execute(iteration)
+        yield from handle.deactivate(iteration)
+
+    drive(sim, body(), max_time=2000)
+
+
+def collected_results(deployment, name="hist"):
+    rank0 = min(deployment.live_daemons(), key=lambda d: d.address)
+    return rank0.provider.pipelines[name].last_results
+
+
+def test_histogram_matches_numpy_reference():
+    sim = Simulation(seed=51)
+    deployment, handle = make_stack(sim, 3, HistogramScript(field="u", bins=16))
+    rng = np.random.default_rng(7)
+    chunks = [rng.normal(size=27) for _ in range(6)]
+    blocks = [(i, block_of(c)) for i, c in enumerate(chunks)]
+    run_iteration(sim, handle, 1, blocks)
+
+    everything = np.concatenate(chunks)
+    results = collected_results(deployment)
+    lo, hi = results["range"]
+    assert lo == pytest.approx(everything.min())
+    assert hi == pytest.approx(everything.max())
+    expected, _ = np.histogram(everything, bins=16, range=(lo, hi))
+    assert np.array_equal(results["histogram"], expected)
+    assert results["count"] == everything.size
+    assert results["mean"] == pytest.approx(everything.mean())
+    # Every server agrees (allreduce): check a non-rank0 server too.
+    other = max(deployment.live_daemons(), key=lambda d: d.address)
+    other_results = other.provider.pipelines["hist"].last_results
+    assert np.array_equal(other_results["histogram"], expected)
+
+
+def test_histogram_fixed_range():
+    sim = Simulation(seed=52)
+    script = HistogramScript(field="u", bins=4, value_range=(0.0, 4.0))
+    deployment, handle = make_stack(sim, 2, script)
+    values = np.array([0.5, 1.5, 2.5, 3.5, 3.5, 99.0, -1.0, 0.1] * 3 + [0.0] * 3)
+    blocks = [(0, block_of(values))]
+    run_iteration(sim, handle, 1, blocks)
+    results = collected_results(deployment)
+    assert results["range"] == (0.0, 4.0)
+    expected, _ = np.histogram(values, bins=4, range=(0.0, 4.0))
+    assert np.array_equal(results["histogram"], expected)
+
+
+def test_histogram_empty_iteration():
+    sim = Simulation(seed=53)
+    deployment, handle = make_stack(sim, 2, HistogramScript(field="u", bins=8))
+    run_iteration(sim, handle, 1, [])
+    results = collected_results(deployment)
+    assert results["count"] == 0
+    assert np.all(results["histogram"] == 0)
+
+
+def test_histogram_virtual_blocks_charge_but_do_not_count():
+    sim = Simulation(seed=54)
+    deployment, handle = make_stack(sim, 2, HistogramScript(field="u", bins=8))
+    real = np.linspace(0, 1, 27)
+    blocks = [(0, block_of(real)), (1, VirtualPayload((1 << 20,), "uint8"))]
+    run_iteration(sim, handle, 1, blocks)
+    results = collected_results(deployment)
+    assert results["count"] == 27
+    durations = sim.trace.durations("pipeline.execute", iteration=1)
+    assert max(durations) > 0  # virtual charge happened
+
+
+def test_histogram_bins_validation():
+    with pytest.raises(ValueError):
+        HistogramScript(field="u", bins=0)

@@ -1,0 +1,391 @@
+"""Correctness tests for MoNA collectives against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mona import BXOR, MAX, MIN, PROD, SUM
+from repro.na import VirtualPayload
+from repro.sim import Simulation
+from repro.testing import build_mona_world, run_all
+
+
+def world(count, procs_per_node=1, seed=0):
+    sim = Simulation(seed=seed)
+    fabric, instances, comms = build_mona_world(sim, count, procs_per_node)
+    return sim, comms
+
+
+# ---------------------------------------------------------------------------
+# p2p
+def test_send_recv_payload():
+    sim, comms = world(2)
+
+    def rank0(c):
+        yield from c.send(1, np.arange(4), tag=9)
+
+    def rank1(c):
+        return (yield from c.recv(source=0, tag=9))
+
+    _, got = run_all(sim, [rank0(comms[0]), rank1(comms[1])])
+    assert np.array_equal(got, np.arange(4))
+
+
+def test_sendrecv_exchange():
+    sim, comms = world(2)
+
+    def body(c):
+        other = 1 - c.rank
+        return (yield from c.sendrecv(other, f"from-{c.rank}", other))
+
+    got = run_all(sim, [body(c) for c in comms])
+    assert got == ["from-1", "from-0"]
+
+
+def test_isend_irecv_nonblocking():
+    sim, comms = world(2)
+
+    def rank0(c):
+        ev = c.isend(1, "hello")
+        yield ev
+
+    def rank1(c):
+        ev = c.irecv(source=0)
+        msg = yield ev
+        return msg.payload
+
+    _, got = run_all(sim, [rank0(comms[0]), rank1(comms[1])])
+    assert got == "hello"
+
+
+# ---------------------------------------------------------------------------
+# bcast
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 13])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_all_sizes_roots(size, root):
+    if root >= size:
+        pytest.skip("root out of range")
+    sim, comms = world(size)
+    data = np.arange(10, dtype=np.int64)
+
+    def body(c):
+        payload = data if c.rank == root else None
+        return (yield from c.bcast(payload, root=root))
+
+    results = run_all(sim, [body(c) for c in comms])
+    for r in results:
+        assert np.array_equal(r, data)
+
+
+# ---------------------------------------------------------------------------
+# reduce / allreduce
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 16])
+def test_reduce_sum_matches_numpy(size):
+    sim, comms = world(size)
+    contributions = [np.arange(6, dtype=np.float64) * (r + 1) for r in range(size)]
+
+    def body(c):
+        return (yield from c.reduce(contributions[c.rank], op=SUM, root=0))
+
+    results = run_all(sim, [body(c) for c in comms])
+    expected = np.sum(contributions, axis=0)
+    assert np.allclose(results[0], expected)
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("root", [0, 2, 4])
+def test_reduce_nonzero_root(root):
+    size = 5
+    sim, comms = world(size)
+
+    def body(c):
+        return (yield from c.reduce(c.rank + 1, op=SUM, root=root))
+
+    results = run_all(sim, [body(c) for c in comms])
+    assert results[root] == sum(range(1, size + 1))
+
+
+def test_reduce_bxor_matches_numpy():
+    """The Table II operation: binary-xor reduce."""
+    size = 8
+    sim, comms = world(size)
+    rng = np.random.default_rng(3)
+    contributions = [rng.integers(0, 1 << 30, size=16, dtype=np.int64) for _ in range(size)]
+
+    def body(c):
+        return (yield from c.reduce(contributions[c.rank], op=BXOR, root=0))
+
+    results = run_all(sim, [body(c) for c in comms])
+    expected = contributions[0].copy()
+    for contrib in contributions[1:]:
+        expected ^= contrib
+    assert np.array_equal(results[0], expected)
+
+
+def test_bxor_rejects_floats():
+    with pytest.raises(TypeError):
+        BXOR(np.zeros(2), np.zeros(2))
+    with pytest.raises(TypeError):
+        BXOR(1.5, 2)
+
+
+@pytest.mark.parametrize("op,reference", [
+    (SUM, lambda vals: sum(vals)),
+    (PROD, lambda vals: np.prod(vals)),
+    (MIN, lambda vals: min(vals)),
+    (MAX, lambda vals: max(vals)),
+])
+def test_allreduce_ops(op, reference):
+    size = 6
+    sim, comms = world(size)
+    values = [float(r * r - 3 * r + 2) for r in range(size)]
+
+    def body(c):
+        return (yield from c.allreduce(values[c.rank], op=op))
+
+    results = run_all(sim, [body(c) for c in comms])
+    expected = reference(values)
+    for r in results:
+        assert r == pytest.approx(expected)
+
+
+def test_reduce_virtual_payload_passthrough():
+    size = 4
+    sim, comms = world(size)
+    vp = VirtualPayload((1024,), "int64")
+
+    def body(c):
+        return (yield from c.reduce(vp, op=BXOR, root=0))
+
+    results = run_all(sim, [body(c) for c in comms])
+    assert isinstance(results[0], VirtualPayload)
+    assert results[0].nbytes == vp.nbytes
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 9])
+@pytest.mark.parametrize("root", [0, 1])
+def test_gather(size, root):
+    if root >= size:
+        pytest.skip("root out of range")
+    sim, comms = world(size)
+
+    def body(c):
+        return (yield from c.gather(f"payload-{c.rank}", root=root))
+
+    results = run_all(sim, [body(c) for c in comms])
+    assert results[root] == [f"payload-{r}" for r in range(size)]
+    for r, res in enumerate(results):
+        if r != root:
+            assert res is None
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 9])
+@pytest.mark.parametrize("root", [0, 1])
+def test_scatter(size, root):
+    if root >= size:
+        pytest.skip("root out of range")
+    sim, comms = world(size)
+    payloads = [f"item-{r}" for r in range(size)]
+
+    def body(c):
+        supply = payloads if c.rank == root else None
+        return (yield from c.scatter(supply, root=root))
+
+    results = run_all(sim, [body(c) for c in comms])
+    assert results == payloads
+
+
+def test_scatter_validates_payload_count():
+    sim, comms = world(3)
+
+    def body(c):
+        supply = ["just-one"] if c.rank == 0 else None
+        return (yield from c.scatter(supply, root=0))
+
+    with pytest.raises(ValueError):
+        run_all(sim, [body(c) for c in comms])
+
+
+# ---------------------------------------------------------------------------
+# allgather / alltoall / barrier
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_allgather(size):
+    sim, comms = world(size)
+
+    def body(c):
+        return (yield from c.allgather(c.rank * 10))
+
+    results = run_all(sim, [body(c) for c in comms])
+    expected = [r * 10 for r in range(size)]
+    for res in results:
+        assert res == expected
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7])
+def test_alltoall(size):
+    sim, comms = world(size)
+
+    def body(c):
+        outgoing = [f"{c.rank}->{d}" for d in range(size)]
+        return (yield from c.alltoall(outgoing))
+
+    results = run_all(sim, [body(c) for c in comms])
+    for r, res in enumerate(results):
+        assert res == [f"{s}->{r}" for s in range(size)]
+
+
+def test_alltoall_validates_count():
+    sim, comms = world(2)
+
+    def body(c):
+        return (yield from c.alltoall(["too", "many", "items"]))
+
+    with pytest.raises(ValueError):
+        run_all(sim, [body(c) for c in comms])
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 8, 11])
+def test_barrier_synchronizes(size):
+    sim = Simulation()
+    _, _, comms = build_mona_world(sim, size)
+    exits = []
+
+    def body(c, delay):
+        yield c.instance.sim.timeout(delay)
+        yield from c.barrier()
+        exits.append((c.rank, c.instance.sim.now))
+
+    run_all(sim, [body(c, 0.1 * (c.rank + 1)) for c in comms])
+    slowest_entry = 0.1 * size
+    for _, t in exits:
+        assert t >= slowest_entry - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# communicator management
+def test_comm_requires_membership():
+    sim = Simulation()
+    _, instances, _ = build_mona_world(sim, 2)
+    with pytest.raises(ValueError):
+        instances[0].comm_create([instances[1].address])
+
+
+def test_comm_rejects_duplicates():
+    sim = Simulation()
+    _, instances, _ = build_mona_world(sim, 2)
+    with pytest.raises(ValueError):
+        instances[0].comm_create([instances[0].address, instances[0].address])
+
+
+def test_comm_ids_agree_across_members():
+    sim = Simulation()
+    _, instances, comms = build_mona_world(sim, 4)
+    assert len({c.comm_id for c in comms}) == 1
+    dups = [c.dup() for c in comms]
+    assert len({c.comm_id for c in dups}) == 1
+    assert dups[0].comm_id != comms[0].comm_id
+
+
+def test_subset_communicator():
+    sim = Simulation()
+    _, instances, comms = build_mona_world(sim, 4)
+    subs = [c.subset([0, 2]) for c in comms]
+    assert subs[1] is None and subs[3] is None
+    assert subs[0].size == 2 and subs[2].rank == 1
+
+    def body(c):
+        return (yield from c.allgather(c.rank))
+
+    results = run_all(sim, [body(subs[0]), body(subs[2])])
+    assert results == [[0, 1], [0, 1]]
+
+
+def test_two_comms_do_not_cross_match():
+    """Traffic on a dup'd communicator never matches the original."""
+    sim = Simulation()
+    _, instances, comms = build_mona_world(sim, 2)
+    dups = [c.dup() for c in comms]
+
+    def rank0(c, d):
+        yield from c.send(1, "on-original")
+        yield from d.send(1, "on-dup")
+
+    def rank1(c, d):
+        got_dup = yield from d.recv(source=0)
+        got_orig = yield from c.recv(source=0)
+        return (got_dup, got_orig)
+
+    _, got = run_all(sim, [rank0(comms[0], dups[0]), rank1(comms[1], dups[1])])
+    assert got == ("on-dup", "on-original")
+
+
+def test_nonblocking_collective_via_start():
+    sim = Simulation()
+    _, _, comms = build_mona_world(sim, 4)
+
+    def body(c):
+        task = c.start(c.allreduce(c.rank + 1))
+        # Overlap "compute" with the collective.
+        yield c.instance.sim.timeout(0.5)
+        result = yield task.join()
+        return result
+
+    results = run_all(sim, [body(c) for c in comms])
+    assert results == [10, 10, 10, 10]
+
+
+# ---------------------------------------------------------------------------
+# property-based round-trips
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    root=st.integers(min_value=0, max_value=8),
+    n=st.integers(min_value=1, max_value=64),
+)
+def test_property_bcast_roundtrip(size, root, n):
+    root %= size
+    sim, comms = world(size, seed=size)
+    data = np.arange(n, dtype=np.int32)
+
+    def body(c):
+        return (yield from c.bcast(data if c.rank == root else None, root=root))
+
+    for r in run_all(sim, [body(c) for c in comms]):
+        assert np.array_equal(r, data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    n=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_allreduce_sum_matches_numpy(size, n, seed):
+    sim, comms = world(size, seed=seed)
+    rng = np.random.default_rng(seed)
+    contribs = [rng.integers(-100, 100, size=n) for _ in range(size)]
+
+    def body(c):
+        return (yield from c.allreduce(contribs[c.rank], op=SUM))
+
+    expected = np.sum(contribs, axis=0)
+    for r in run_all(sim, [body(c) for c in comms]):
+        assert np.array_equal(r, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=1, max_value=8))
+def test_property_scatter_gather_roundtrip(size):
+    sim, comms = world(size)
+    payloads = [np.full(3, r) for r in range(size)]
+
+    def body(c):
+        mine = yield from c.scatter(payloads if c.rank == 0 else None, root=0)
+        return (yield from c.gather(mine, root=0))
+
+    results = run_all(sim, [body(c) for c in comms])
+    for original, got in zip(payloads, results[0]):
+        assert np.array_equal(original, got)

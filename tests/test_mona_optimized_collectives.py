@@ -1,0 +1,170 @@
+"""Tests for MoNA's optimized large-message collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mona import SUM, MAX
+from repro.na import VirtualPayload
+from repro.sim import Simulation
+from repro.testing import build_mona_world, run_all
+
+
+def world(n, procs_per_node=4):
+    sim = Simulation()
+    _, _, comms = build_mona_world(sim, n, procs_per_node)
+    return sim, comms
+
+
+# ---------------------------------------------------------------------------
+# scatter_allgather bcast
+@pytest.mark.parametrize("size", [2, 3, 4, 7, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_sag_bcast_matches_binomial(size, root):
+    if root >= size:
+        pytest.skip("root out of range")
+    sim, comms = world(size)
+    data = np.arange(1000, dtype=np.float32).reshape(10, 100)
+
+    def body(c):
+        payload = data if c.rank == root else None
+        return (
+            yield from c.bcast(payload, root=root, algorithm="scatter_allgather")
+        )
+
+    for result in run_all(sim, [body(c) for c in comms]):
+        assert result.shape == (10, 100)
+        assert result.dtype == np.float32
+        assert np.array_equal(result, data)
+
+
+def test_sag_bcast_virtual_payload():
+    sim, comms = world(4)
+    vp = VirtualPayload((1 << 20,), "uint8")
+
+    def body(c):
+        return (
+            yield from c.bcast(vp if c.rank == 0 else None, algorithm="scatter_allgather")
+        )
+
+    for result in run_all(sim, [body(c) for c in comms]):
+        assert isinstance(result, VirtualPayload)
+        assert result.nbytes == vp.nbytes
+
+
+def test_sag_bcast_fallback_for_objects():
+    """Non-array payloads silently use the binomial path."""
+    sim, comms = world(3)
+
+    def body(c):
+        payload = {"k": 1} if c.rank == 0 else None
+        return (yield from c.bcast(payload, algorithm="scatter_allgather"))
+
+    assert run_all(sim, [body(c) for c in comms]) == [{"k": 1}] * 3
+
+
+def test_sag_bcast_faster_for_large_messages():
+    """MPICH's rationale: 2n/P per rank beats n x log P for big n."""
+    def bcast_time(algorithm, n_ranks=16):
+        sim, comms = world(n_ranks)
+        vp = VirtualPayload((8 << 20,), "uint8")  # 8 MB
+
+        def body(c):
+            return (
+                yield from c.bcast(vp if c.rank == 0 else None, algorithm=algorithm)
+            )
+
+        start = sim.now
+        run_all(sim, [body(c) for c in comms])
+        return sim.now - start
+
+    assert bcast_time("scatter_allgather") < bcast_time("binomial")
+
+
+def test_unknown_bcast_algorithm():
+    sim, comms = world(2)
+
+    def body(c):
+        return (yield from c.bcast(1, algorithm="tree64"))
+
+    with pytest.raises(ValueError):
+        run_all(sim, [body(c) for c in comms])
+
+
+# ---------------------------------------------------------------------------
+# rabenseifner allreduce
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_rabenseifner_matches_reference(size):
+    sim, comms = world(size)
+    rng = np.random.default_rng(5)
+    contribs = [rng.integers(-50, 50, size=64).astype(np.int64) for _ in range(size)]
+
+    def body(c):
+        return (
+            yield from c.allreduce(contribs[c.rank], op=SUM, algorithm="rabenseifner")
+        )
+
+    expected = np.sum(contribs, axis=0)
+    for result in run_all(sim, [body(c) for c in comms]):
+        assert np.array_equal(result, expected)
+
+
+def test_rabenseifner_max_op():
+    sim, comms = world(4)
+    contribs = [np.arange(16) * (r + 1.0) for r in range(4)]
+
+    def body(c):
+        return (yield from c.allreduce(contribs[c.rank], op=MAX, algorithm="rabenseifner"))
+
+    expected = np.max(contribs, axis=0)
+    for result in run_all(sim, [body(c) for c in comms]):
+        assert np.array_equal(result, expected)
+
+
+def test_rabenseifner_fallback_nonpow2_and_scalars():
+    sim, comms = world(3)  # not a power of two
+
+    def body(c):
+        arr = yield from c.allreduce(np.full(12, c.rank + 1.0), algorithm="rabenseifner")
+        scalar = yield from c.allreduce(c.rank + 1, algorithm="rabenseifner")
+        return arr, scalar
+
+    for arr, scalar in run_all(sim, [body(c) for c in comms]):
+        assert np.allclose(arr, 6.0)
+        assert scalar == 6
+
+
+def test_rabenseifner_preserves_shape():
+    sim, comms = world(4)
+    data = np.ones((8, 8))
+
+    def body(c):
+        return (yield from c.allreduce(data, algorithm="rabenseifner"))
+
+    for result in run_all(sim, [body(c) for c in comms]):
+        assert result.shape == (8, 8)
+        assert np.allclose(result, 4.0)
+
+
+def test_rabenseifner_faster_for_large_arrays():
+    def allreduce_time(algorithm, n_ranks=16):
+        sim, comms = world(n_ranks)
+        data = np.zeros(1 << 20)  # 8 MB float64
+
+        def body(c):
+            return (yield from c.allreduce(data, algorithm=algorithm))
+
+        start = sim.now
+        run_all(sim, [body(c) for c in comms], max_time=1e9)
+        return sim.now - start
+
+    assert allreduce_time("rabenseifner") < allreduce_time("reduce_bcast")
+
+
+def test_unknown_allreduce_algorithm():
+    sim, comms = world(2)
+
+    def body(c):
+        return (yield from c.allreduce(np.ones(4), algorithm="butterfly2"))
+
+    with pytest.raises(ValueError):
+        run_all(sim, [body(c) for c in comms])

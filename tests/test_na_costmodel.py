@@ -1,0 +1,124 @@
+"""Calibration tests: the cost models reproduce Table I by construction
+and extrapolate sensibly beyond it."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.na import P2P_CALIBRATION, CostModel, get_cost_model
+from repro.na.costmodel import interp_log_size
+
+
+@pytest.mark.parametrize("library", ["craympich", "openmpi", "mona", "na"])
+def test_anchors_reproduced_exactly(library):
+    model = get_cost_model(library)
+    for size, t_us in P2P_CALIBRATION[library]:
+        assert model.p2p_time(size) == pytest.approx(t_us * 1e-6, rel=1e-9)
+
+
+def test_table1_ordering_small_messages():
+    """Paper: Cray-mpich < OpenMPI < MoNA < NA for small messages."""
+    for size in (8, 128, 2048):
+        times = [get_cost_model(lib).p2p_time(size) for lib in ("craympich", "openmpi", "mona", "na")]
+        assert times == sorted(times)
+
+
+def test_table1_mona_beats_openmpi_large():
+    """Paper: MoNA outperforms OpenMPI at >= 16 KiB (RDMA vs rendezvous)."""
+    for size in (16384, 32768, 524288):
+        assert get_cost_model("mona").p2p_time(size) < get_cost_model("openmpi").p2p_time(size)
+
+
+def test_craympich_always_fastest_internode():
+    for size in (8, 512, 4096, 65536, 1 << 20, 8 << 20):
+        cray = get_cost_model("craympich").p2p_time(size)
+        for other in ("openmpi", "mona", "na"):
+            assert cray <= get_cost_model(other).p2p_time(size)
+
+
+def test_extrapolation_uses_last_segment_bandwidth():
+    """An 8 MB MoNA message should cost ~ last anchor + bytes/bandwidth."""
+    model = get_cost_model("mona")
+    t_512k = model.p2p_time(524288)
+    t_8m = model.p2p_time(8 << 20)
+    implied_bw = (524288 - 32768) / (72.69e-6 - 15.305e-6)  # bytes/sec
+    expected = t_512k + ((8 << 20) - 524288) / implied_bw
+    assert t_8m == pytest.approx(expected, rel=1e-6)
+    # Sanity: the implied Aries bandwidth is a few GB/s.
+    assert 2e9 < implied_bw < 2e10
+
+
+def test_below_first_anchor_is_latency_floor():
+    model = get_cost_model("craympich")
+    assert model.p2p_time(1) == model.p2p_time(8)
+
+
+def test_shmem_cheaper_than_network():
+    for lib in ("craympich", "openmpi", "mona", "na"):
+        model = get_cost_model(lib)
+        for size in (8, 4096, 1 << 20):
+            assert model.p2p_time(size, same_node=True) < model.p2p_time(size, same_node=False)
+
+
+def test_mona_shmem_beats_mpi_shmem():
+    """Footnote 12: MoNA's shared-memory path gives it the edge on-node."""
+    for size in (8, 65536, 1 << 20):
+        assert get_cost_model("mona").p2p_time(size, same_node=True) < get_cost_model(
+            "craympich"
+        ).p2p_time(size, same_node=True)
+
+
+def test_rdma_time_components():
+    model = get_cost_model("mona")
+    small = model.rdma_time(0)
+    assert small == pytest.approx(model.rdma_setup_us * 1e-6)
+    big = model.rdma_time(1 << 30)
+    assert big == pytest.approx(small + (1 << 30) / (model.rdma_bandwidth_gbps * 1e9), rel=1e-6)
+
+
+def test_negative_sizes_rejected():
+    model = get_cost_model("mona")
+    with pytest.raises(ValueError):
+        model.p2p_time(-1)
+    with pytest.raises(ValueError):
+        model.rdma_time(-1)
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(KeyError):
+        get_cost_model("mvapich")
+
+
+def test_model_is_cached_singleton():
+    assert get_cost_model("mona") is get_cost_model("mona")
+
+
+@settings(max_examples=200, deadline=None)
+@given(nbytes=st.integers(min_value=1, max_value=1 << 28))
+def test_property_monotone_nondecreasing_in_size(nbytes):
+    """Bigger messages never cost less (per library), except across the
+    OpenMPI protocol-switch anchors which the paper itself measured as
+    non-monotone (16 KiB > 32 KiB)."""
+    for lib in ("craympich", "mona", "na"):
+        model = get_cost_model(lib)
+        assert model.p2p_time(nbytes + 1024) >= model.p2p_time(nbytes) - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nbytes=st.integers(min_value=1, max_value=1 << 24),
+    lib=st.sampled_from(["craympich", "openmpi", "mona", "na"]),
+)
+def test_property_times_positive_and_finite(nbytes, lib):
+    model = get_cost_model(lib)
+    t = model.p2p_time(nbytes)
+    assert 0 < t < 10.0
+    r = model.rdma_time(nbytes)
+    assert 0 < r < 10.0
+
+
+def test_interp_between_anchors_is_between_values():
+    anchors = [(8, 1.0), (128, 2.0)]
+    mid = interp_log_size(anchors, 32)  # log-midpoint of 8..128
+    assert 1.0 < mid < 2.0
+    assert mid == pytest.approx(1.5)

@@ -1,0 +1,120 @@
+"""Property-based tests for the NA layer: FIFO delivery, payload
+accounting, and RDMA NIC serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.na import Fabric, MemoryHandle, VirtualPayload, get_cost_model, payload_nbytes
+from repro.sim import Simulation
+from repro.testing import run_all
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=1 << 20), min_size=2, max_size=10),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_fifo_delivery_any_sizes(sizes, seed):
+    """Messages between one (src, dst) pair are received in send order,
+    whatever their sizes (non-overtaking)."""
+    sim = Simulation(seed=seed)
+    fabric = Fabric(sim)
+    m = get_cost_model("mona")
+    a = fabric.register("a", 0, m)
+    b = fabric.register("b", 1, m)
+
+    def sender(sim):
+        for i, size in enumerate(sizes):
+            a.send(b.address, VirtualPayload((size,), "uint8"), tag=("seq", i))
+        yield sim.timeout(0)
+
+    def receiver(sim):
+        order = []
+        for _ in sizes:
+            msg = yield b.recv()
+            order.append(msg.tag[1])
+        return order
+
+    _, order = run_all(sim, [sender(sim), receiver(sim)])
+    assert order == list(range(len(sizes)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    payload=st.one_of(
+        st.binary(max_size=64),
+        st.integers(),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=32),
+        st.lists(st.integers(), max_size=8),
+        st.dictionaries(st.text(max_size=4), st.integers(), max_size=5),
+    )
+)
+def test_property_payload_nbytes_nonnegative_and_deterministic(payload):
+    n1 = payload_nbytes(payload)
+    n2 = payload_nbytes(payload)
+    assert n1 == n2
+    assert n1 >= 0
+
+
+def test_payload_nbytes_container_recursion():
+    arr = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes([arr, arr]) == 2 * 800 + 16
+    assert payload_nbytes({"a": arr}) > 800
+    assert payload_nbytes((1, 2.0, True)) == 3 * 8 + 24
+
+
+@settings(max_examples=20, deadline=None)
+@given(count=st.integers(min_value=1, max_value=8))
+def test_property_rdma_nic_serialization(count):
+    """N concurrent pulls by one endpoint take ~N times one pull
+    (the NIC-contention model behind the ~100 ms stage of Fig. 9)."""
+    nbytes = 4 << 20
+
+    def elapsed(n):
+        sim = Simulation()
+        fabric = Fabric(sim)
+        m = get_cost_model("mona")
+        owner = fabric.register("owner", 0, m)
+        puller = fabric.register("puller", 1, m)
+        handles = [owner.expose(VirtualPayload((nbytes,), "uint8")) for _ in range(n)]
+
+        def body(sim):
+            events = [fabric.rdma_pull(puller, h) for h in handles]
+            yield sim.all_of(events)
+
+        run_all(sim, [body(sim)])
+        return sim.now
+
+    one = elapsed(1)
+    many = elapsed(count)
+    assert many == pytest.approx(count * one, rel=1e-6)
+
+
+def test_rdma_pulls_by_distinct_endpoints_parallel():
+    sim = Simulation()
+    fabric = Fabric(sim)
+    m = get_cost_model("mona")
+    owner = fabric.register("owner", 0, m)
+    pullers = [fabric.register(f"p{i}", 1 + i, m) for i in range(4)]
+    handles = [owner.expose(VirtualPayload((1 << 20,), "uint8")) for _ in range(4)]
+
+    def body(sim):
+        events = [fabric.rdma_pull(p, h) for p, h in zip(pullers, handles)]
+        yield sim.all_of(events)
+
+    run_all(sim, [body(sim)])
+    single = get_cost_model("mona").rdma_time(1 << 20)
+    assert sim.now == pytest.approx(single, rel=1e-6)  # fully parallel
+
+
+def test_memory_handle_expose_accounting():
+    sim = Simulation()
+    fabric = Fabric(sim)
+    ep = fabric.register("x", 0, get_cost_model("mona"))
+    handle = ep.expose(np.zeros(10))
+    assert isinstance(handle, MemoryHandle)
+    assert handle.owner == ep.address
+    assert handle.nbytes == 80

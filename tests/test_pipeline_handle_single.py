@@ -1,0 +1,76 @@
+"""Tests for the single-server PipelineHandle (§II-B's non-distributed
+handle variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Deployment
+from repro.core.pipelines import HistogramScript
+from repro.sim import Simulation
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+from repro.vtk import ImageData
+
+FAST_SWIM = SwimConfig(period=0.2, suspect_timeout=1.0)
+
+
+def block(values):
+    img = ImageData(dims=(2, 2, 2))
+    img.set_field("u", np.asarray(values, dtype=np.float64).reshape(2, 2, 2))
+    return img
+
+
+def test_single_server_lifecycle():
+    sim = Simulation(seed=81)
+    deployment = Deployment(sim, swim_config=FAST_SWIM)
+    drive(sim, deployment.start_servers(1), max_time=300)
+    client_margo, client = deployment.make_client(node_index=20)
+    drive(sim, client.connect())
+    drive(
+        sim,
+        deployment.deploy_pipeline(
+            client_margo, "hist", "libcolza-catalyst.so",
+            {"script": HistogramScript(field="u", bins=4, value_range=(0, 8))},
+        ),
+    )
+    server = deployment.live_daemons()[0]
+    handle = client.pipeline_handle(server.address, "hist")
+    values = np.arange(8, dtype=np.float64)
+
+    def body():
+        yield from handle.activate(1)
+        yield from handle.stage(1, 0, block(values))
+        yield from handle.execute(1)
+        yield from handle.deactivate(1)
+
+    drive(sim, body(), max_time=2000)
+    results = server.provider.pipelines["hist"].last_results
+    assert results["count"] == 8
+    expected, _ = np.histogram(values, bins=4, range=(0, 8))
+    assert np.array_equal(results["histogram"], expected)
+
+
+def test_single_server_activate_refused_in_larger_group():
+    """The server's 2PC view check still applies: a one-server activate
+    against a member of a 2-server group is refused."""
+    sim = Simulation(seed=82)
+    deployment = Deployment(sim, swim_config=FAST_SWIM)
+    drive(sim, deployment.start_servers(2), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+    client_margo, client = deployment.make_client(node_index=20)
+    drive(sim, client.connect())
+    drive(
+        sim,
+        deployment.deploy_pipeline(
+            client_margo, "hist", "libcolza-catalyst.so",
+            {"script": HistogramScript(field="u", bins=4)},
+        ),
+    )
+    server = deployment.live_daemons()[0]
+    handle = client.pipeline_handle(server.address, "hist")
+
+    def body():
+        with pytest.raises(RuntimeError, match="refused"):
+            yield from handle.activate(1)
+
+    drive(sim, body(), max_time=2000)

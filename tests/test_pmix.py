@@ -1,0 +1,163 @@
+"""Tests for the PMIx-style resource manager (§II-F mechanism)."""
+
+import pytest
+
+from repro.pmix import AllocationDenied, PmixClient, ResourceManager
+from repro.sim import Simulation
+from repro.sim.platform import Cluster
+from repro.testing import drive, run_all
+
+
+def make_rm(nodes=8, managed=None, latency=0.5):
+    sim = Simulation(seed=71)
+    cluster = Cluster(sim, nodes=nodes)
+    rm = ResourceManager(sim, cluster, managed_nodes=managed, decision_latency_s=latency)
+    return sim, rm
+
+
+def test_allocate_and_release():
+    sim, rm = make_rm()
+
+    def body():
+        nodes = yield from rm.allocate(3)
+        return nodes
+
+    nodes = drive(sim, body(), max_time=60)
+    assert len(nodes) == 3
+    assert rm.free_count == 5
+    rm.release(nodes)
+    assert rm.free_count == 8
+    assert rm.grants == 1 and rm.releases == 1
+
+
+def test_allocation_takes_scheduler_time():
+    sim, rm = make_rm(latency=2.0)
+
+    def body():
+        yield from rm.allocate(1)
+        return sim.now
+
+    t = drive(sim, body(), max_time=60)
+    assert t > 0.5  # lognormal around 2 s
+
+
+def test_blocking_request_queues_until_release():
+    sim, rm = make_rm(nodes=4)
+    order = []
+
+    def hog():
+        nodes = yield from rm.allocate(4)
+        order.append(("hog", sim.now))
+        yield sim.timeout(10.0)
+        rm.release(nodes)
+
+    def waiter():
+        yield sim.timeout(1.0)
+        nodes = yield from rm.allocate(2)
+        order.append(("waiter", sim.now))
+        return nodes
+
+    results = run_all(sim, [hog(), waiter()], max_time=120)
+    assert order[0][0] == "hog"
+    assert order[1][0] == "waiter"
+    assert order[1][1] > 10.0  # waited for the release
+    assert len(results[1]) == 2
+
+
+def test_nonblocking_request_denied_when_full():
+    sim, rm = make_rm(nodes=2)
+
+    def body():
+        yield from rm.allocate(2)
+        with pytest.raises(AllocationDenied):
+            yield from rm.allocate(1, blocking=False)
+
+    drive(sim, body(), max_time=60)
+
+
+def test_impossible_request_denied_immediately():
+    sim, rm = make_rm(nodes=2)
+
+    def body():
+        with pytest.raises(AllocationDenied):
+            yield from rm.allocate(99)
+        yield sim.timeout(0)
+
+    drive(sim, body(), max_time=60)
+
+
+def test_managed_subset_and_validation():
+    sim, rm = make_rm(nodes=8, managed=[5, 6, 7])
+    assert rm.free_count == 3
+
+    def body():
+        nodes = yield from rm.allocate(2)
+        return nodes
+
+    nodes = drive(sim, body(), max_time=60)
+    assert set(nodes) <= {5, 6, 7}
+    with pytest.raises(ValueError):
+        rm.release([0])  # never allocated
+    with pytest.raises(ValueError):
+        next(rm.allocate(0))
+
+
+def test_fifo_queue_order():
+    sim, rm = make_rm(nodes=2, latency=0.01)
+    grants = []
+
+    def hog():
+        nodes = yield from rm.allocate(2)
+        yield sim.timeout(5.0)
+        rm.release(nodes)
+
+    def requester(tag, delay):
+        yield sim.timeout(delay)
+        nodes = yield from rm.allocate(2)
+        grants.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        rm.release(nodes)
+
+    run_all(sim, [hog(), requester("first", 0.5), requester("second", 1.0)], max_time=120)
+    assert [g[0] for g in grants] == ["first", "second"]
+
+
+def test_pmix_client_tracks_holdings():
+    sim, rm = make_rm()
+    client = PmixClient(rm, "simulation")
+
+    def body():
+        nodes = yield from client.request_nodes(2)
+        assert client.held == nodes
+        client.return_nodes(nodes[:1])
+        return nodes
+
+    nodes = drive(sim, body(), max_time=60)
+    assert len(client.held) == 1
+    assert rm.free_count == 7
+
+
+def test_pmix_driven_staging_growth():
+    """§II-F end to end: the application requests a node via PMIx and
+    launches a Colza daemon on it."""
+    from repro.core import Deployment
+    from repro.ssg import SwimConfig
+    from repro.testing import run_until
+
+    sim = Simulation(seed=72)
+    deployment = Deployment(sim, swim_config=SwimConfig(period=0.2))
+    rm = ResourceManager(sim, deployment.cluster, managed_nodes=list(range(8, 16)))
+    client = PmixClient(rm, "app")
+
+    drive(sim, deployment.start_servers(2), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+
+    def grow_via_pmix():
+        nodes = yield from client.request_nodes(1)
+        daemon = yield from deployment.add_server(node_index=nodes[0])
+        return daemon
+
+    daemon = drive(sim, grow_via_pmix(), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+    assert daemon.node_index in range(8, 16)
+    assert len(deployment.live_daemons()) == 3

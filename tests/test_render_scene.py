@@ -1,0 +1,95 @@
+"""Tests for multi-representation scene rendering."""
+
+import numpy as np
+import pytest
+
+from repro.vtk import ImageData, PolyData
+from repro.vtk.render import Camera, CompositeImage, combine_pixelwise_over, render_scene
+
+
+def triangle_at(z, color=(1.0, 0.0, 0.0)):
+    return (
+        "geometry",
+        PolyData([[-1, -1, z], [1, -1, z], [0, 1, z]], [[0, 1, 2]]),
+        {"base_color": color},
+    )
+
+
+def blob_volume(center_z=0.0, n=12):
+    img = ImageData(
+        dims=(n, n, n), origin=(-1, -1, center_z - 1), spacing=(2 / (n - 1),) * 3
+    )
+    coords = img.point_coords()
+    r2 = ((coords - np.array([0, 0, center_z])) ** 2).sum(axis=1)
+    img.set_field("rho", np.exp(-3 * r2).reshape(n, n, n))
+    return ("volume", img, {"field": "rho", "steps": 24})
+
+
+CAM = Camera(position=(0, 0, -8), view_width=4, view_height=4)
+
+
+# ---------------------------------------------------------------------------
+def test_empty_scene():
+    img = render_scene([], width=16, height=16)
+    assert img.coverage() == 0.0
+
+
+def test_single_geometry_matches_rasterize():
+    img = render_scene([triangle_at(0.0)], camera=CAM, width=32, height=32)
+    assert np.isfinite(img.depth[16, 16])
+
+
+def test_nearest_geometry_wins_per_pixel():
+    near_red = triangle_at(-1.0, color=(1, 0, 0))
+    far_green = triangle_at(1.0, color=(0, 1, 0))
+    img = render_scene([far_green, near_red], camera=CAM, width=32, height=32)
+    center = img.rgba[16, 16]
+    assert center[0] > center[1]  # red (near) in front
+
+
+def test_volume_in_front_tints_geometry():
+    geo = triangle_at(2.0, color=(0, 0, 1))
+    vol = blob_volume(center_z=0.0)
+    img = render_scene([geo, vol], camera=CAM, width=32, height=32)
+    center = img.rgba[16, 16]
+    # Blue geometry visible but attenuated by the volume in front:
+    plain = render_scene([geo], camera=CAM, width=32, height=32)
+    assert center[2] < plain.rgba[16, 16, 2]
+    assert center[2] > 0.05  # not fully hidden (volume is translucent)
+
+
+def test_geometry_in_front_hides_volume():
+    geo = triangle_at(-2.0, color=(0, 0, 1))
+    vol = blob_volume(center_z=1.0)
+    img = render_scene([vol, geo], camera=CAM, width=32, height=32)
+    center = img.rgba[16, 16]
+    plain = render_scene([geo], camera=CAM, width=32, height=32)
+    # Opaque geometry in front: the volume contributes nothing there.
+    assert center[2] == pytest.approx(plain.rgba[16, 16, 2], abs=1e-5)
+
+
+def test_auto_camera_fits_union():
+    img = render_scene([triangle_at(0.0), blob_volume()], width=24, height=24)
+    assert img.coverage() > 0.05
+
+
+def test_invalid_items():
+    with pytest.raises(ValueError):
+        render_scene([("points", None, {})])
+    with pytest.raises(TypeError):
+        render_scene([("geometry", ImageData(dims=(2, 2, 2)), {})])
+    with pytest.raises(TypeError):
+        render_scene([("volume", PolyData.empty(), {"field": "x"})])
+
+
+def test_combine_pixelwise_over_symmetry_on_disjoint():
+    a = CompositeImage.blank(4, 4)
+    b = CompositeImage.blank(4, 4)
+    a.rgba[0, 0] = [1, 0, 0, 1]
+    a.depth[0, 0] = 1.0
+    b.rgba[3, 3] = [0, 1, 0, 1]
+    b.depth[3, 3] = 2.0
+    ab = combine_pixelwise_over(a, b)
+    ba = combine_pixelwise_over(b, a)
+    assert np.allclose(ab.rgba, ba.rgba)
+    assert ab.rgba[0, 0, 0] == 1.0 and ab.rgba[3, 3, 1] == 1.0

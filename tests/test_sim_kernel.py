@@ -1,0 +1,414 @@
+"""Unit tests for the DES kernel: clock, events, tasks, combinators."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Killed, Simulation, SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=42)
+
+
+# ---------------------------------------------------------------------------
+# clock & timeouts
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    seen = []
+
+    def body(sim):
+        yield sim.timeout(1.5)
+        seen.append(sim.now)
+
+    sim.spawn(body(sim))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_timeout_value_passthrough(sim):
+    got = []
+
+    def body(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.spawn(body(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-0.1)
+
+
+def test_run_until_stops_clock(sim):
+    def body(sim):
+        yield sim.timeout(10.0)
+
+    sim.spawn(body(sim))
+    stopped = sim.run(until=3.0)
+    assert stopped == 3.0
+    assert sim.now == 3.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_advances_clock_even_when_idle(sim):
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_deterministic_same_time_ordering(sim):
+    order = []
+
+    def body(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(body(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_and_peek(sim):
+    def body(sim):
+        yield sim.timeout(2.0)
+
+    sim.spawn(body(sim))
+    assert sim.peek() == 0.0  # the task's first step
+    assert sim.step()
+    assert sim.peek() == 2.0
+    while sim.step():
+        pass
+    assert sim.peek() is None
+
+
+# ---------------------------------------------------------------------------
+# events
+def test_event_succeed_resumes_waiter(sim):
+    ev = sim.event("door")
+    got = []
+
+    def waiter(sim, ev):
+        value = yield ev
+        got.append((sim.now, value))
+
+    def opener(sim, ev):
+        yield sim.timeout(4.0)
+        ev.succeed("open")
+
+    sim.spawn(waiter(sim, ev))
+    sim.spawn(opener(sim, ev))
+    sim.run()
+    assert got == [(4.0, "open")]
+
+
+def test_event_fail_throws_into_waiter(sim):
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    def failer(sim, ev):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.spawn(waiter(sim, ev))
+    sim.spawn(failer(sim, ev))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_waiting_on_fired_event_resumes_immediately(sim):
+    ev = sim.event()
+    ev.succeed(99)
+    got = []
+
+    def waiter(sim, ev):
+        value = yield ev
+        got.append((sim.now, value))
+
+    sim.spawn(waiter(sim, ev))
+    sim.run()
+    assert got == [(0.0, 99)]
+
+
+def test_event_double_fire_rejected(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_event_value_before_fire_rejected(sim):
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fail_requires_exception_instance(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_multiple_waiters_all_resumed(sim):
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev, tag):
+        value = yield ev
+        got.append((tag, value))
+
+    for tag in range(3):
+        sim.spawn(waiter(sim, ev, tag))
+
+    def opener(sim, ev):
+        yield sim.timeout(1.0)
+        ev.succeed("x")
+
+    sim.spawn(opener(sim, ev))
+    sim.run()
+    assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+# ---------------------------------------------------------------------------
+# tasks
+def test_task_return_value_via_join(sim):
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 123
+
+    def parent(sim, out):
+        task = sim.spawn(child(sim))
+        value = yield task.join()
+        out.append((sim.now, value))
+
+    out = []
+    sim.spawn(parent(sim, out))
+    sim.run()
+    assert out == [(2.0, 123)]
+
+
+def test_task_exception_propagates_to_joiner(sim):
+    sim.strict = False
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent(sim, out):
+        task = sim.spawn(child(sim))
+        try:
+            yield task.join()
+        except ValueError as err:
+            out.append(str(err))
+
+    out = []
+    sim.spawn(parent(sim, out))
+    sim.run()
+    assert out == ["child died"]
+
+
+def test_strict_mode_raises_uncaught_task_exception(sim):
+    def bad(sim):
+        yield sim.timeout(0.5)
+        raise KeyError("oops")
+
+    sim.spawn(bad(sim))
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_yield_non_event_is_error(sim):
+    def bad(sim):
+        yield 42  # type: ignore[misc]
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_thrown_into_task(sim):
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt("wake up")
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(interrupter(sim, victim))
+    sim.run()
+    assert log == [(3.0, "wake up")]
+
+
+def test_interrupt_finished_task_is_noop(sim):
+    def quick(sim):
+        yield sim.timeout(0.1)
+
+    task = sim.spawn(quick(sim))
+    sim.run()
+    task.interrupt()  # must not raise
+    sim.run()
+
+
+def test_kill_fails_done_with_killed(sim):
+    def sleeper(sim):
+        yield sim.timeout(100.0)
+
+    task = sim.spawn(sleeper(sim))
+    sim.run(until=1.0)
+    task.kill()
+    assert task.finished
+    with pytest.raises(Killed):
+        _ = task.done.value
+
+
+def test_killed_task_does_not_resume(sim):
+    log = []
+
+    def sleeper(sim):
+        yield sim.timeout(5.0)
+        log.append("resumed")
+
+    task = sim.spawn(sleeper(sim))
+    sim.run(until=1.0)
+    task.kill()
+    sim.run()
+    assert log == []
+
+
+def test_spawn_at_future(sim):
+    log = []
+
+    def body(sim):
+        log.append(sim.now)
+        yield sim.timeout(0)
+
+    sim.spawn_at(5.0, body(sim))
+    sim.run()
+    assert log == [5.0]
+
+
+def test_spawn_at_past_rejected(sim):
+    sim.run(until=10.0)
+    with pytest.raises(ValueError):
+        sim.spawn_at(5.0, iter(()))  # type: ignore[arg-type]
+
+
+def test_current_task_visible_during_step(sim):
+    seen = []
+
+    def body(sim):
+        seen.append(sim.current_task.name)
+        yield sim.timeout(0)
+
+    sim.spawn(body(sim), name="worker")
+    sim.run()
+    assert seen == ["worker"]
+    assert sim.current_task is None
+
+
+# ---------------------------------------------------------------------------
+# combinators
+def test_all_of_collects_values_in_order(sim):
+    got = []
+
+    def body(sim):
+        events = [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+        values = yield AllOf(sim, events)
+        got.append((sim.now, values))
+
+    sim.spawn(body(sim))
+    sim.run()
+    assert got == [(3.0, ["slow", "fast"])]
+
+
+def test_all_of_empty_fires_immediately(sim):
+    got = []
+
+    def body(sim):
+        values = yield sim.all_of([])
+        got.append((sim.now, values))
+
+    sim.spawn(body(sim))
+    sim.run()
+    assert got == [(0.0, [])]
+
+
+def test_all_of_propagates_failure(sim):
+    ev = sim.event()
+    got = []
+
+    def body(sim, ev):
+        try:
+            yield sim.all_of([sim.timeout(10.0), ev])
+        except RuntimeError as err:
+            got.append((sim.now, str(err)))
+
+    def failer(sim, ev):
+        yield sim.timeout(2.0)
+        ev.fail(RuntimeError("bad"))
+
+    sim.spawn(body(sim, ev))
+    sim.spawn(failer(sim, ev))
+    sim.run()
+    assert got == [(2.0, "bad")]
+
+
+def test_any_of_first_wins(sim):
+    got = []
+
+    def body(sim):
+        index, value = yield AnyOf(sim, [sim.timeout(5.0, "a"), sim.timeout(2.0, "b")])
+        got.append((sim.now, index, value))
+
+    sim.spawn(body(sim))
+    sim.run()
+    assert got == [(2.0, 1, "b")]
+
+
+def test_any_of_requires_events(sim):
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+# ---------------------------------------------------------------------------
+# composition with yield from
+def test_yield_from_subroutine_returns_value(sim):
+    def leaf(sim):
+        yield sim.timeout(1.0)
+        return "leaf-value"
+
+    def mid(sim):
+        value = yield from leaf(sim)
+        yield sim.timeout(1.0)
+        return value + "!"
+
+    got = []
+
+    def root(sim):
+        value = yield from mid(sim)
+        got.append((sim.now, value))
+        yield sim.timeout(0)
+
+    sim.spawn(root(sim))
+    sim.run()
+    assert got == [(2.0, "leaf-value!")]

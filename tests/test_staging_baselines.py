@@ -1,0 +1,195 @@
+"""Tests for the Damaris and DataSpaces baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipelines import IsoSurfaceScript
+from repro.na import Fabric, VirtualPayload
+from repro.sim import Simulation
+from repro.staging import DamarisDeployment, DataSpacesDeployment
+from repro.testing import run_all
+
+
+def make_script():
+    return IsoSurfaceScript(field="iterations", isovalues=[4.0])
+
+
+# ---------------------------------------------------------------------------
+# Damaris
+def test_damaris_divisibility_constraint():
+    sim = Simulation()
+    fabric = Fabric(sim)
+    with pytest.raises(ValueError, match="divide"):
+        DamarisDeployment(sim, fabric, n_clients=5, n_servers=2, script=make_script())
+
+
+def damaris_run(n_clients=4, n_servers=2, jitter=0.0, seed=0):
+    sim = Simulation(seed=seed)
+    fabric = Fabric(sim)
+    damaris = DamarisDeployment(
+        sim, fabric, n_clients, n_servers, make_script(), width=32, height=32
+    )
+    rng = np.random.default_rng(seed)
+    delays = rng.uniform(0, jitter, n_clients)
+
+    def client_body(rank):
+        yield from damaris.split(rank)
+        yield sim.timeout(float(delays[rank]))  # client-side stagger
+        payload = VirtualPayload((32, 32, 32), "int32")
+        yield from damaris.damaris_write(rank, 1, rank, payload)
+        yield from damaris.damaris_signal(rank, 1)
+
+    def server_body(index):
+        rank = damaris.server_world_rank(index)
+        yield from damaris.split(rank)
+        result = yield from damaris.server_iteration(index, 1)
+        return result
+
+    gens = [client_body(r) for r in range(n_clients)]
+    gens += [server_body(i) for i in range(n_servers)]
+    run_all(sim, gens, max_time=3000)
+    return sim, damaris
+
+
+def test_damaris_iteration_completes():
+    sim, damaris = damaris_run()
+    spans = list(sim.trace.find("damaris.plugin", iteration=1))
+    assert len(spans) == 2
+    assert all(s.duration > 0 for s in spans)
+
+
+def test_damaris_uncoordinated_entry_staggers_servers():
+    """With client jitter, servers enter the plugin at different times
+    (the paper's explanation for Damaris losing Fig. 8)."""
+    sim, _ = damaris_run(jitter=2.0, seed=3)
+    starts = [s.start for s in sim.trace.find("damaris.plugin", iteration=1)]
+    assert max(starts) - min(starts) > 0.1
+
+
+def test_damaris_makespan_grows_with_jitter():
+    def makespan(jitter, seed=5):
+        sim, _ = damaris_run(jitter=jitter, seed=seed)
+        spans = list(sim.trace.find("damaris.plugin", iteration=1))
+        return max(s.end for s in spans) - min(s.start for s in spans)
+
+    assert makespan(4.0) > makespan(0.0) + 0.5
+
+
+def test_damaris_routes_blocks_to_owning_server():
+    sim, damaris = damaris_run(n_clients=6, n_servers=3)
+    assert damaris.server_of_client(0) == 0
+    assert damaris.server_of_client(5) == 2
+    assert damaris.clients_per_server == 2
+
+
+# ---------------------------------------------------------------------------
+# DataSpaces
+def dataspaces_run(n_clients=4, n_servers=2, seed=0):
+    sim = Simulation(seed=seed)
+    fabric = Fabric(sim)
+    dspaces = DataSpacesDeployment(
+        sim, fabric, n_servers, make_script(), width=32, height=32
+    )
+    from repro.margo import MargoInstance
+    from repro.na import get_cost_model
+
+    client_margos = [
+        MargoInstance(sim, fabric, f"ds-client-{i}", 32 + i, get_cost_model("mona"))
+        for i in range(n_clients)
+    ]
+
+    def client_body(rank):
+        payload = VirtualPayload((32, 32, 32), "int32")
+        yield from dspaces.put(client_margos[rank], 1, rank, payload)
+        if rank == 0:
+            # Wait a moment for other puts, then trigger (coordinated).
+            yield sim.timeout(0.5)
+            yield from dspaces.execute(client_margos[0], 1)
+
+    run_all(sim, [client_body(r) for r in range(n_clients)], max_time=3000)
+    return sim, dspaces
+
+
+def test_dataspaces_iteration_completes():
+    sim, dspaces = dataspaces_run()
+    spans = list(sim.trace.find("dataspaces.exec", iteration=1))
+    assert len(spans) == 2
+    assert all(s.duration > 0 for s in spans)
+
+
+def test_dataspaces_execute_is_coordinated():
+    """All servers enter exec nearly simultaneously (single trigger)."""
+    sim, _ = dataspaces_run()
+    starts = [s.start for s in sim.trace.find("dataspaces.exec", iteration=1)]
+    assert max(starts) - min(starts) < 0.01
+
+
+def test_dataspaces_no_divisibility_constraint():
+    sim, dspaces = dataspaces_run(n_clients=5, n_servers=2)
+    spans = list(sim.trace.find("dataspaces.exec", iteration=1))
+    assert len(spans) == 2
+
+
+def test_dataspaces_staged_data_consumed():
+    sim, dspaces = dataspaces_run()
+    for server in dspaces.servers:
+        assert server.staged == {}
+
+
+# ---------------------------------------------------------------------------
+# Damaris deployment modes
+def test_damaris_mode_validation():
+    sim = Simulation()
+    fabric = Fabric(sim)
+    with pytest.raises(ValueError, match="mode"):
+        DamarisDeployment(sim, fabric, 4, 2, make_script(), mode="colocated")
+
+
+def test_dedicated_cores_colocates_servers_with_clients():
+    sim = Simulation()
+    fabric = Fabric(sim)
+    damaris = DamarisDeployment(
+        sim, fabric, n_clients=4, n_servers=2, script=make_script(),
+        mode="dedicated_cores",
+    )
+    # Client 0/1 share node 0 with server 0; client 2/3 node 1 with server 1.
+    eps = damaris.world.endpoints
+    assert eps[0].node_index == eps[1].node_index == eps[4].node_index
+    assert eps[2].node_index == eps[3].node_index == eps[5].node_index
+    assert eps[0].node_index != eps[2].node_index
+
+
+def test_dedicated_cores_writes_faster_than_dedicated_nodes():
+    """Co-located writes ride shared memory (footnote-12 physics)."""
+    import numpy as np
+
+    def write_time(mode):
+        sim = Simulation(seed=1)
+        fabric = Fabric(sim)
+        # procs_per_node=2 => dedicated_nodes puts both clients on node 0
+        # and both servers on node 1 (cross-node writes).
+        damaris = DamarisDeployment(
+            sim, fabric, n_clients=2, n_servers=2, script=make_script(), mode=mode,
+            procs_per_node=2,
+        )
+        payload = np.zeros(1 << 20, dtype=np.uint8)
+
+        def client(rank):
+            yield from damaris.split(rank)
+            yield from damaris.damaris_write(rank, 1, rank, payload)
+            yield from damaris.damaris_signal(rank, 1)
+
+        def server(index):
+            rank = damaris.server_world_rank(index)
+            yield from damaris.split(rank)
+            blocks = 0
+            # Drain one client's data+signal without running the plugin.
+            comm = damaris.world.comm_world(rank)
+            while blocks < 2:
+                yield from comm.recv(tag="damaris")
+                blocks += 1
+
+        run_all(sim, [client(0), client(1), server(0), server(1)], max_time=1e6)
+        return sim.now
+
+    assert write_time("dedicated_cores") < write_time("dedicated_nodes")

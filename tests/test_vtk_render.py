@@ -1,0 +1,226 @@
+"""Tests for the software renderer: camera, colormaps, raster, volume."""
+
+import numpy as np
+import pytest
+
+from repro.vtk import ImageData, PolyData
+from repro.vtk.filters import contour
+from repro.vtk.render import Camera, CompositeImage, colormap, opacity_ramp, rasterize, volume_render
+from repro.vtk.render.image import combine_over, combine_zbuffer
+
+
+# ---------------------------------------------------------------------------
+# Camera
+def test_camera_view_space_depth_increases_away():
+    cam = Camera(position=(0, 0, -5), focal_point=(0, 0, 0))
+    view = cam.world_to_view(np.array([[0, 0, 0], [0, 0, 1]]))
+    assert view[0, 2] == pytest.approx(5.0)
+    assert view[1, 2] == pytest.approx(6.0)
+
+
+def test_camera_pixel_mapping():
+    cam = Camera(position=(0, 0, -5), view_width=2.0, view_height=2.0)
+    px, py, depth = cam.view_to_pixels(np.array([[0.0, 0.0, 5.0]]), 101, 101)
+    assert px[0] == pytest.approx(50)
+    assert py[0] == pytest.approx(50)
+    # Top of the window maps to row 0.
+    px, py, _ = cam.view_to_pixels(np.array([[0.0, 1.0, 5.0]]), 101, 101)
+    assert py[0] == pytest.approx(0)
+
+
+def test_camera_validation():
+    with pytest.raises(ValueError):
+        Camera(position=(0, 0, 0), focal_point=(0, 0, 0))
+    with pytest.raises(ValueError):
+        Camera(position=(0, 0, -1), focal_point=(0, 0, 0), view_up=(0, 0, 1))
+
+
+def test_camera_fit_frames_bounds():
+    cam = Camera.fit((0, 2, 0, 4, 0, 6), direction="z")
+    view = cam.world_to_view(np.array([[1, 2, 3]]))
+    assert abs(view[0, 0]) < 1e-9 and abs(view[0, 1]) < 1e-9
+    with pytest.raises(ValueError):
+        Camera.fit((0, 1, 0, 1, 0, 1), direction="w")
+
+
+# ---------------------------------------------------------------------------
+# color
+def test_colormap_endpoints_and_clamp():
+    lo = colormap(np.array([0.0, -5.0]), "viridis", 0, 1)
+    hi = colormap(np.array([1.0, 99.0]), "viridis", 0, 1)
+    assert np.allclose(lo[0], lo[1])
+    assert np.allclose(hi[0], hi[1])
+    assert not np.allclose(lo[0], hi[0])
+
+
+def test_colormap_unknown():
+    with pytest.raises(KeyError):
+        colormap(np.zeros(1), "jet2000")
+
+
+def test_colormap_degenerate_range():
+    out = colormap(np.array([3.0]), "coolwarm", 5, 5)
+    assert out.shape == (1, 3)
+
+
+def test_opacity_ramp_monotone():
+    vals = np.linspace(0, 1, 11)
+    alpha = opacity_ramp(vals, 0, 1, max_opacity=0.8)
+    assert alpha[0] == 0
+    assert alpha[-1] == pytest.approx(0.8)
+    assert np.all(np.diff(alpha) >= 0)
+    assert np.all(opacity_ramp(vals, 1, 1) == 0)
+
+
+# ---------------------------------------------------------------------------
+# CompositeImage
+def test_composite_image_validation():
+    with pytest.raises(ValueError):
+        CompositeImage(np.zeros((4, 4, 3)), np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        CompositeImage(np.zeros((4, 4, 4)), np.zeros((5, 4)))
+
+
+def test_blank_coverage_and_rows():
+    img = CompositeImage.blank(8, 6)
+    assert img.shape == (6, 8)
+    assert img.coverage() == 0.0
+    img.depth[2:4] = 1.0
+    assert img.coverage() == pytest.approx(2 / 6)
+    sub = img.rows(2, 4)
+    assert sub.shape == (2, 8)
+    assert np.all(np.isfinite(sub.depth))
+
+
+def test_zbuffer_combine_picks_nearest():
+    a = CompositeImage.blank(2, 2)
+    b = CompositeImage.blank(2, 2)
+    a.rgba[..., 0] = 1.0
+    a.depth[:] = 5.0
+    b.rgba[..., 1] = 1.0
+    b.depth[:] = 3.0
+    out = combine_zbuffer(a, b)
+    assert np.all(out.rgba[..., 1] == 1.0)
+    assert np.all(out.depth == 3.0)
+
+
+def test_over_combine_premultiplied():
+    front = CompositeImage.blank(1, 1)
+    back = CompositeImage.blank(1, 1)
+    front.rgba[0, 0] = [0.5, 0, 0, 0.5]  # premultiplied red at 50%
+    back.rgba[0, 0] = [0, 1.0, 0, 1.0]  # opaque green
+    out = combine_over(front, back)
+    assert out.rgba[0, 0, 0] == pytest.approx(0.5)
+    assert out.rgba[0, 0, 1] == pytest.approx(0.5)
+    assert out.rgba[0, 0, 3] == pytest.approx(1.0)
+
+
+def test_to_uint8_and_ppm(tmp_path):
+    img = CompositeImage.blank(4, 4)
+    img.rgba[..., 2] = 1.0
+    img.rgba[..., 3] = 1.0
+    rgb = img.to_uint8()
+    assert rgb.shape == (4, 4, 3)
+    assert np.all(rgb[..., 2] == 255)
+    path = tmp_path / "out.ppm"
+    img.write_ppm(str(path))
+    data = path.read_bytes()
+    assert data.startswith(b"P6\n4 4\n255\n")
+    assert len(data) == len(b"P6\n4 4\n255\n") + 48
+
+
+# ---------------------------------------------------------------------------
+# rasterizer
+def big_triangle():
+    return PolyData(
+        [[-1, -1, 0], [1, -1, 0], [0, 1, 0]],
+        [[0, 1, 2]],
+        {"f": np.array([0.0, 0.5, 1.0])},
+    )
+
+
+def test_rasterize_covers_center():
+    cam = Camera(position=(0, 0, -5), view_width=4, view_height=4)
+    img = rasterize(big_triangle(), cam, 64, 64)
+    assert img.coverage() > 0.05
+    # Center pixel covered at depth 5.
+    assert np.isfinite(img.depth[32, 32])
+    assert img.depth[32, 32] == pytest.approx(5.0, abs=0.05)
+    assert img.rgba[32, 32, 3] == 1.0
+
+
+def test_rasterize_empty_polydata():
+    cam = Camera()
+    img = rasterize(PolyData.empty(), cam, 16, 16)
+    assert img.coverage() == 0.0
+
+
+def test_rasterize_zbuffer_occlusion():
+    near = PolyData([[-1, -1, -1], [1, -1, -1], [0, 1, -1]], [[0, 1, 2]])
+    far = PolyData([[-1, -1, 1], [1, -1, 1], [0, 1, 1]], [[0, 1, 2]])
+    both = PolyData.concatenate([far, near])
+    cam = Camera(position=(0, 0, -5), view_width=4, view_height=4)
+    img = rasterize(both, cam, 32, 32)
+    assert img.depth[16, 16] == pytest.approx(4.0, abs=0.05)  # near wins
+
+
+def test_rasterize_color_field_interpolation():
+    cam = Camera(position=(0, 0, -5), view_width=4, view_height=4)
+    img = rasterize(big_triangle(), cam, 64, 64, color_field="f", cmap="grayscale")
+    covered = np.isfinite(img.depth)
+    # Grayscale: channel variance across the triangle from interpolation.
+    grays = img.rgba[covered][:, 0]
+    assert grays.std() > 0.01
+
+
+def test_rasterize_sphere_silhouette():
+    """A rendered isosphere covers a disk of area ~ pi r^2 / window."""
+    from tests.test_vtk_filters import sphere_field
+
+    img_data = sphere_field(n=25)
+    sphere = contour(img_data, [1.0], "dist")
+    cam = Camera(position=(0, 0, -6), view_width=4, view_height=4)
+    img = rasterize(sphere, cam, 64, 64)
+    expected = np.pi * 1.0**2 / (4 * 4)
+    assert img.coverage() == pytest.approx(expected, rel=0.15)
+
+
+# ---------------------------------------------------------------------------
+# volume renderer
+def gaussian_blob(n=24):
+    img = ImageData(dims=(n, n, n), origin=(-1, -1, -1), spacing=(2 / (n - 1),) * 3)
+    coords = img.point_coords()
+    r2 = (coords**2).sum(axis=1)
+    img.set_field("rho", np.exp(-4 * r2).reshape(n, n, n))
+    return img
+
+
+def test_volume_render_blob_centered():
+    img = volume_render(gaussian_blob(), "rho", width=48, height=48, steps=32)
+    assert img.coverage() > 0.1
+    alpha = img.rgba[..., 3]
+    cy, cx = np.unravel_index(np.argmax(alpha), alpha.shape)
+    assert abs(cx - 24) <= 4 and abs(cy - 24) <= 4
+
+
+def test_volume_render_depth_front_face():
+    vol = gaussian_blob()
+    img = volume_render(vol, "rho", width=32, height=32, steps=48)
+    center_depth = img.depth[16, 16]
+    assert np.isfinite(center_depth)
+    # brick_depth is the nearest extent of the volume in view space.
+    assert img.brick_depth <= center_depth
+
+
+def test_volume_render_empty_field():
+    vol = gaussian_blob(8)
+    vol.set_field("rho", np.zeros((8, 8, 8)))
+    img = volume_render(vol, "rho", width=16, height=16, steps=8, value_range=(0, 1))
+    assert img.coverage() == 0.0
+
+
+def test_volume_render_custom_camera():
+    vol = gaussian_blob(16)
+    cam = Camera(position=(0, 0, -10), focal_point=(0, 0, 0), view_width=3, view_height=3)
+    img = volume_render(vol, "rho", camera=cam, width=24, height=24, steps=24)
+    assert img.coverage() > 0.05

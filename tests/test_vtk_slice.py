@@ -1,0 +1,80 @@
+"""Tests for the plane-slice filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vtk import ImageData
+from repro.vtk.filters import slice_plane
+
+
+def linear_field_image(n=17, extent=2.0):
+    spacing = 2 * extent / (n - 1)
+    img = ImageData(dims=(n, n, n), origin=(-extent,) * 3, spacing=(spacing,) * 3)
+    coords = img.point_coords()
+    img.set_field("fx", coords[:, 0].reshape(n, n, n))
+    img.set_field("r", np.linalg.norm(coords, axis=1).reshape(n, n, n))
+    return img
+
+
+def test_slice_lies_on_plane():
+    img = linear_field_image()
+    cut = slice_plane(img, origin=(0.5, 0, 0), normal=(1, 0, 0))
+    assert cut.num_triangles > 0
+    assert np.allclose(cut.points[:, 0], 0.5, atol=1e-9)
+
+
+def test_slice_area_of_axis_cut():
+    """An axis-aligned cut through a 4x4x4 world-unit box has area 16."""
+    img = linear_field_image(n=17, extent=2.0)
+    cut = slice_plane(img, origin=(0.1, 0, 0), normal=(1, 0, 0))
+    assert cut.surface_area() == pytest.approx(16.0, rel=0.01)
+
+
+def test_slice_interpolates_fields():
+    img = linear_field_image()
+    cut = slice_plane(img, origin=(0.25, 0, 0), normal=(1, 0, 0), fields=["fx"])
+    assert np.allclose(cut.point_data["fx"], 0.25, atol=1e-9)
+    assert "r" not in cut.point_data
+    assert "__plane_distance__" not in cut.point_data
+
+
+def test_slice_oblique_plane():
+    img = linear_field_image()
+    normal = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+    cut = slice_plane(img, origin=(0, 0, 0), normal=(1, 1, 0))
+    signed = cut.points @ normal
+    assert np.allclose(signed, 0.0, atol=1e-9)
+
+
+def test_slice_outside_bounds_empty():
+    img = linear_field_image()
+    cut = slice_plane(img, origin=(99, 0, 0), normal=(1, 0, 0))
+    assert cut.num_points == 0
+
+
+def test_slice_zero_normal_rejected():
+    img = linear_field_image(n=5)
+    with pytest.raises(ValueError):
+        slice_plane(img, (0, 0, 0), (0, 0, 0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    offset=st.floats(min_value=-1.5, max_value=1.5),
+    axis=st.integers(min_value=0, max_value=2),
+)
+def test_property_axis_slices_have_constant_field(offset, axis):
+    """Slicing perpendicular to an axis yields points at that offset and
+    linear fields evaluate exactly."""
+    img = linear_field_image()
+    normal = [0.0, 0.0, 0.0]
+    normal[axis] = 1.0
+    origin = [0.0, 0.0, 0.0]
+    origin[axis] = offset
+    cut = slice_plane(img, origin, normal)
+    if cut.num_points:
+        assert np.allclose(cut.points[:, axis], offset, atol=1e-9)
+        if axis == 0:
+            assert np.allclose(cut.point_data["fx"], offset, atol=1e-9)

@@ -1,0 +1,82 @@
+"""Tests for the tetrahedralize filter + downstream pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vtk import ImageData
+from repro.vtk.filters import resample_to_image, tetrahedralize, threshold
+
+
+def grid(dims=(4, 4, 4), spacing=(1.0, 1.0, 1.0), field=None):
+    img = ImageData(dims=dims, spacing=spacing)
+    if field is not None:
+        img.set_field("f", field)
+    return img
+
+
+def test_cell_and_point_counts():
+    mesh = tetrahedralize(grid((3, 4, 5)))
+    assert mesh.num_points == 3 * 4 * 5
+    assert mesh.num_cells == 6 * 2 * 3 * 4
+
+
+def test_volume_exactly_preserved():
+    img = grid((4, 3, 5), spacing=(0.5, 2.0, 1.5))
+    mesh = tetrahedralize(img)
+    b = img.bounds
+    domain = (b[1] - b[0]) * (b[3] - b[2]) * (b[5] - b[4])
+    assert mesh.total_volume() == pytest.approx(domain, rel=1e-12)
+
+
+def test_fields_carry_over_in_point_order():
+    values = np.arange(27, dtype=np.float64).reshape(3, 3, 3)
+    mesh = tetrahedralize(grid((3, 3, 3), field=values))
+    assert np.array_equal(mesh.point_data["f"], values.reshape(-1))
+    # Field value at a mesh point matches the grid point's coordinate key.
+    p_idx = 1 * 9 + 2 * 3 + 0  # grid point (1, 2, 0)
+    assert np.allclose(mesh.points[p_idx], [1, 2, 0])
+    assert mesh.point_data["f"][p_idx] == values[1, 2, 0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        tetrahedralize(grid((1, 4, 4)))
+    with pytest.raises(KeyError):
+        tetrahedralize(grid((3, 3, 3)), fields=["missing"])
+
+
+def test_threshold_on_tetrahedralized_grid():
+    """The bridge in action: grid -> tets -> threshold keeps the region
+    where the field passes."""
+    values = np.zeros((4, 4, 4))
+    values[:2] = 10.0  # pass the lower-x half
+    mesh = tetrahedralize(grid((4, 4, 4), field=values))
+    kept = threshold(mesh, "f", 5.0, 15.0, mode="all")
+    assert 0 < kept.num_cells < mesh.num_cells
+    assert kept.points[:, 0].max() <= 1.0  # only the x < 2 slab survives
+
+
+def test_roundtrip_resample_recovers_smooth_field():
+    coords_field = np.fromfunction(lambda x, y, z: x + y + z, (6, 6, 6))
+    img = grid((6, 6, 6), field=coords_field)
+    mesh = tetrahedralize(img)
+    back = resample_to_image(mesh, (6, 6, 6), fields=["f"])
+    inner = back.field("f")[1:-1, 1:-1, 1:-1]
+    expected = coords_field[1:-1, 1:-1, 1:-1]
+    assert np.allclose(inner, expected, atol=0.75)  # nearest-neighbor error
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nx=st.integers(2, 5), ny=st.integers(2, 5), nz=st.integers(2, 5),
+    sx=st.floats(0.1, 3.0), sy=st.floats(0.1, 3.0), sz=st.floats(0.1, 3.0),
+)
+def test_property_volume_conservation(nx, ny, nz, sx, sy, sz):
+    """6-tet decomposition tiles the domain for any dims/spacing."""
+    img = grid((nx, ny, nz), spacing=(sx, sy, sz))
+    mesh = tetrahedralize(img)
+    domain = sx * (nx - 1) * sy * (ny - 1) * sz * (nz - 1)
+    assert mesh.total_volume() == pytest.approx(domain, rel=1e-9)
+    assert mesh.num_cells == 6 * (nx - 1) * (ny - 1) * (nz - 1)
