@@ -1,12 +1,15 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test chaos bench examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+chaos:
+	pytest tests/chaos/ -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

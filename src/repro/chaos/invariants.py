@@ -1,0 +1,197 @@
+"""Invariant checking for chaos runs (DESIGN §6 made executable).
+
+The :class:`InvariantMonitor` passively observes a deployment — it
+subscribes to tracer span completions and to every SSG agent's
+membership callbacks — and records violations of the protocol's safety
+properties:
+
+1. **Frozen-view agreement** — when a client's 2PC activate succeeds,
+   every live member of the committed view must hold exactly that view
+   frozen for the (pipeline, iteration).
+2. **No false deaths** — SWIM must never permanently declare a live,
+   reachable member dead. Members the fault plan crashed, hung, or
+   partitioned are exempt (their death verdicts reflect real failures);
+   a gossip-suppression target is *not* exempt, because suppression
+   windows are sized to end in refutation.
+3. **Single block ownership** — after a successful execute, every
+   staged block of that iteration lives on exactly one server of the
+   agreed view (duplicated RPC delivery or stage retries must never
+   double-stage).
+4. **Convergence** — once faults stop, the membership views of all
+   running daemons agree again (checked by :meth:`final_check`).
+
+Violations accumulate as human-readable strings; :meth:`assert_ok`
+turns them into one test failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chaos.faults import name_of
+
+__all__ = ["InvariantMonitor"]
+
+
+class InvariantMonitor:
+    """Attachable invariant checker for one deployment."""
+
+    def __init__(self, sim, deployment):
+        self.sim = sim
+        self.deployment = deployment
+        self.violations: List[str] = []
+        #: Names whose death verdicts are legitimate (crashed / hung /
+        #: partitioned by the plan, or failed by the scenario itself).
+        self.exempt: Set[str] = set()
+        self.deaths_seen: List[Tuple[float, str, str]] = []
+        self._watched: Set[str] = set()
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "InvariantMonitor":
+        if self._attached:
+            return self
+        self._attached = True
+        self.sim.trace.on_end.append(self._on_span)
+        self.watch_all()
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self._attached = False
+        try:
+            self.sim.trace.on_end.remove(self._on_span)
+        except ValueError:
+            pass
+
+    def watch_all(self) -> None:
+        """Subscribe to every daemon's membership callbacks (including
+        ones added elastically after :meth:`attach`)."""
+        for daemon in self.deployment.daemons:
+            if daemon.name in self._watched:
+                continue
+            self._watched.add(daemon.name)
+            daemon.agent.add_observer(self._observer_for(daemon))
+
+    def note_failure(self, server: str) -> None:
+        """Exempt ``server`` from the no-false-death invariant (the
+        fault plan really did crash/hang/partition it)."""
+        self.exempt.add(server)
+
+    # ------------------------------------------------------------------
+    # membership: invariant 2
+    def _observer_for(self, daemon):
+        def observe(event: str, member) -> None:
+            if event != "died":
+                return
+            name = name_of(member)
+            self.deaths_seen.append((self.sim.now, daemon.name, name))
+            if name in self.exempt or daemon.name in self.exempt:
+                # Either the victim really failed, or the *observer* is
+                # the faulted one (a hung/partitioned daemon correctly
+                # sees everyone else as unreachable).
+                return
+            victim = self._daemon_by_name(name)
+            if victim is not None and victim.running:
+                self.violations.append(
+                    f"t={self.sim.now:.2f}: {daemon.name} declared live member "
+                    f"{name} dead (no injected failure)"
+                )
+
+        return observe
+
+    def _daemon_by_name(self, name: str):
+        for daemon in self.deployment.daemons:
+            if daemon.name == name:
+                return daemon
+        return None
+
+    def _daemon_by_address(self, addr_str: str):
+        return self._daemon_by_name(name_of(addr_str))
+
+    # ------------------------------------------------------------------
+    # spans: invariants 1 and 3
+    def _on_span(self, span) -> None:
+        self.watch_all()
+        if span.name == "colza.activate" and "view" in span.tags:
+            self._check_frozen_agreement(span)
+        elif span.name == "colza.execute":
+            self._check_block_ownership(
+                span.tags.get("pipeline"), span.tags.get("iteration")
+            )
+
+    def _check_frozen_agreement(self, span) -> None:
+        view: Tuple[str, ...] = tuple(span.tags["view"].split(";"))
+        pipeline = span.tags["pipeline"]
+        iteration = span.tags["iteration"]
+        for addr_str in view:
+            daemon = self._daemon_by_address(addr_str)
+            if daemon is None or not daemon.running:
+                # Crashed between its commit and the span end: the next
+                # activate/retry deals with it, nothing to agree on.
+                continue
+            provider = daemon.provider
+            backend = provider.pipelines.get(pipeline)
+            if backend is None or (pipeline, iteration) not in provider._active:
+                self.violations.append(
+                    f"t={self.sim.now:.2f}: activate({pipeline}#{iteration}) "
+                    f"committed but {daemon.name} is not frozen for it"
+                )
+                continue
+            theirs = tuple(str(a) for a in backend.current_view)
+            if theirs != view:
+                self.violations.append(
+                    f"t={self.sim.now:.2f}: frozen-view disagreement at "
+                    f"{daemon.name} for {pipeline}#{iteration}: "
+                    f"{theirs} != {view}"
+                )
+
+    def _check_block_ownership(self, pipeline: Optional[str], iteration) -> None:
+        if pipeline is None or iteration is None:
+            return
+        # Group by the frozen view each server holds: a stale server
+        # stranded with an old activation (e.g. it missed an abort while
+        # partitioned) is its own group, not a double-owner.
+        groups: Dict[Tuple[str, ...], Dict[int, int]] = {}
+        for daemon in self.deployment.live_daemons():
+            provider = daemon.provider
+            if (pipeline, iteration) not in provider._active:
+                continue
+            backend = provider.pipelines.get(pipeline)
+            if backend is None:
+                continue
+            counts = groups.setdefault(
+                tuple(str(a) for a in backend.current_view), {}
+            )
+            for block in backend.staged.get(iteration, []):
+                counts[block.block_id] = counts.get(block.block_id, 0) + 1
+        for view, counts in groups.items():
+            for block_id, owners in counts.items():
+                if owners != 1:
+                    self.violations.append(
+                        f"t={self.sim.now:.2f}: block {block_id} of "
+                        f"{pipeline}#{iteration} owned by {owners} servers "
+                        f"in view {view}"
+                    )
+
+    # ------------------------------------------------------------------
+    def final_check(self) -> List[str]:
+        """Invariant 4, run once the scenario has settled: all running
+        daemons' membership views must agree."""
+        if not self.deployment.converged():
+            views = {
+                d.name: [str(a) for a in d.agent.members()]
+                for d in self.deployment.live_daemons()
+            }
+            self.violations.append(
+                f"t={self.sim.now:.2f}: membership not converged after "
+                f"faults ended: {views}"
+            )
+        return self.violations
+
+    def assert_ok(self) -> None:
+        if self.violations:
+            raise AssertionError(
+                "invariant violations:\n" + "\n".join(self.violations)
+            )

@@ -1,0 +1,648 @@
+"""The chaos scenario fleet: seeded end-to-end fault-injection runs.
+
+Each scenario builds a *fresh* full stack (simulation, staging area,
+client, pipeline), arms a :class:`FaultPlan`, drives a workload of
+resilient iterations through it, lets the group settle, and returns a
+:class:`ScenarioResult` carrying the invariant violations (must be
+empty) and the trace digest (must be identical across runs with the
+same seed — the determinism oracle).
+
+Scenario style guide, for adding new ones:
+
+- register with :func:`@scenario <scenario>`; the function takes a seed
+  and returns ``_finish(ctx, info)``;
+- fault windows are *relative to the time the stack finished booting*
+  (``ctx.t0``), since bring-up length varies with seed;
+- link mischief (drop/dup/delay) stays on client<->server links unless
+  the scenario deliberately torments SWIM, so gossip-side effects are
+  opt-in rather than accidental;
+- drop/duplication scenarios use the statistics backend (local-only
+  execute): dropping messages *inside* a MoNA collective desyncs the
+  communicator sequence and models a fault Colza's transport does not
+  actually present. Crash/hang scenarios use the Catalyst/iso backend,
+  whose collectives are exactly what the abort-on-death path protects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.faults import (
+    CrashFault,
+    FaultPlan,
+    GossipSuppression,
+    HangFault,
+    LinkFault,
+    Partition,
+    RdmaFault,
+    SlowFault,
+)
+from repro.chaos.invariants import InvariantMonitor
+import repro.core.pipelines  # noqa: F401  (registers the pipeline libraries)
+from repro.core import Deployment
+from repro.core.admin import ColzaAdmin
+from repro.na import VirtualPayload
+from repro.sim import Simulation
+from repro.ssg import SwimConfig
+from repro.testing import drive, run_until
+
+__all__ = [
+    "ChaosContext",
+    "SCENARIOS",
+    "ScenarioResult",
+    "build_stack",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+]
+
+CLIENT = "client"
+STATS = "libcolza-stats.so"
+ISO = "libcolza-iso.so"
+
+#: 64 KiB per block: enough to exercise RDMA without dominating runtime.
+LIGHT_BLOCK = VirtualPayload((8192,), "float64")
+
+
+def _fast_swim(**overrides) -> SwimConfig:
+    kwargs = dict(period=0.2, suspect_timeout=1.5)
+    kwargs.update(overrides)
+    return SwimConfig(**kwargs)
+
+
+@dataclass
+class ScenarioResult:
+    """What a scenario run produced (for asserting and for replaying)."""
+
+    name: str
+    seed: int
+    digest: str
+    violations: List[str]
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ChaosContext:
+    """Everything a scenario body needs, in one bag."""
+
+    def __init__(self, sim, deployment, margo, client, handle, monitor, library, config):
+        self.sim = sim
+        self.deployment = deployment
+        self.margo = margo
+        self.client = client
+        self.handle = handle
+        self.monitor = monitor
+        self.library = library
+        self.config = config
+        #: Simulated time when the stack finished booting; fault windows
+        #: are offsets from here.
+        self.t0 = sim.now
+        self.plan: Optional[FaultPlan] = None
+        self.engine: Optional[ChaosEngine] = None
+
+    @property
+    def servers(self) -> List[str]:
+        return [d.name for d in self.deployment.daemons]
+
+    def arm(self, plan: FaultPlan) -> ChaosEngine:
+        """Install a fault plan (at most one per context)."""
+        if self.engine is not None:
+            raise RuntimeError("context already armed")
+        self.plan = plan
+        self.engine = ChaosEngine(
+            self.sim, plan, deployment=self.deployment, monitor=self.monitor
+        ).install()
+        return self.engine
+
+    def admin(self) -> ColzaAdmin:
+        return ColzaAdmin(self.margo)
+
+
+def build_stack(
+    seed: int = 0,
+    n_servers: int = 4,
+    library: str = STATS,
+    config: Optional[dict] = None,
+    swim: Optional[SwimConfig] = None,
+    stage_timeout: Optional[float] = 2.0,
+    data_timeout: Optional[float] = 6.0,
+    control_timeout: float = 2.0,
+) -> ChaosContext:
+    """A booted, converged Colza stack with an invariant monitor attached."""
+    sim = Simulation(seed=seed)
+    deployment = Deployment(sim, swim_config=swim or _fast_swim())
+    drive(sim, deployment.start_servers(n_servers), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+    margo, client = deployment.make_client(node_index=40, name=CLIENT)
+    drive(sim, client.connect())
+    config = dict(config or {})
+    if library != STATS and "script" not in config:
+        from repro.core.pipelines import IsoSurfaceScript
+
+        config["script"] = IsoSurfaceScript(field="dist", isovalues=[1.0])
+        config.setdefault("width", 32)
+        config.setdefault("height", 32)
+    drive(sim, deployment.deploy_pipeline(margo, "pipe", library, config), max_time=300)
+    handle = client.distributed_pipeline_handle("pipe")
+    handle.stage_timeout = stage_timeout
+    handle.data_timeout = data_timeout
+    handle.CONTROL_TIMEOUT = control_timeout
+    monitor = InvariantMonitor(sim, deployment).attach()
+    return ChaosContext(sim, deployment, margo, client, handle, monitor, library, config)
+
+
+def _workload(ctx, iterations=3, blocks=4, payload=None, attempts=5, first=1,
+              gap=0.0):
+    """N resilient iterations; returns the per-iteration view sizes.
+
+    ``gap`` seconds of simulated compute separate iterations (the
+    simulation timestep between in situ calls) — that's what spreads
+    the workload across a fault window.
+    """
+    payload = payload or LIGHT_BLOCK
+    sizes = []
+    for it in range(first, first + iterations):
+        if gap > 0:
+            yield ctx.sim.timeout(gap)
+        blks = [(b, payload) for b in range(blocks)]
+        view = yield from ctx.handle.run_resilient_iteration(
+            it, blks, max_attempts=attempts
+        )
+        sizes.append(len(view))
+    return sizes
+
+
+def _finish(ctx, info: Optional[dict] = None, settle: float = 6.0) -> ScenarioResult:
+    """Run out the fault horizon, verify convergence, collect the result."""
+    sim = ctx.sim
+    horizon = ctx.plan.horizon() if ctx.plan is not None else 0.0
+    sim.run(until=max(sim.now, horizon) + settle)
+    try:
+        run_until(sim, ctx.deployment.converged, max_time=60)
+    except TimeoutError:
+        pass  # recorded as a violation by final_check below
+    ctx.monitor.final_check()
+    if ctx.engine is not None:
+        ctx.engine.uninstall()
+    ctx.monitor.detach()
+    return ScenarioResult(
+        name="",  # filled by run_scenario
+        seed=-1,
+        digest=sim.trace.digest(),
+        violations=list(ctx.monitor.violations),
+        info=dict(info or {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {}
+
+
+def scenario(fn: Callable[[int], ScenarioResult]) -> Callable[[int], ScenarioResult]:
+    SCENARIOS[fn.__name__.replace("scenario_", "", 1)] = fn
+    return fn
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+    result = SCENARIOS[name](seed)
+    result.name = name
+    result.seed = seed
+    return result
+
+
+# ---------------------------------------------------------------------------
+# baselines
+@scenario
+def scenario_baseline_no_faults(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed)
+    sizes = drive(ctx.sim, _workload(ctx), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_baseline_catalyst(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, n_servers=3, library=ISO, data_timeout=None)
+    sizes = drive(ctx.sim, _workload(ctx, iterations=2, blocks=3), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+# ---------------------------------------------------------------------------
+# link faults (stats backend: drops must not land inside collectives)
+@scenario
+def scenario_drop_client_links(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed)
+    t = ctx.t0
+    ctx.arm(FaultPlan((
+        LinkFault(t, t + 20, src=CLIENT, drop_p=0.06),
+        LinkFault(t, t + 20, dst=CLIENT, drop_p=0.06),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, attempts=8, gap=0.8), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_drop_storm(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, stage_timeout=1.0, data_timeout=3.0, control_timeout=1.0)
+    t = ctx.t0
+    ctx.arm(FaultPlan((
+        LinkFault(t, t + 10, src=CLIENT, drop_p=0.2),
+        LinkFault(t, t + 10, dst=CLIENT, drop_p=0.2),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=3, attempts=10, gap=0.6), max_time=900)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_dup_storm(seed: int = 0) -> ScenarioResult:
+    """Heavy duplication everywhere: at-most-once dispatch and single
+    block ownership are the invariants under test."""
+    ctx = build_stack(seed)
+    t = ctx.t0
+    ctx.arm(FaultPlan((LinkFault(t, t + 8, dup_p=0.4),)))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, gap=0.5), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_delay_jitter(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, swim=_fast_swim(suspect_timeout=2.5))
+    t = ctx.t0
+    ctx.arm(FaultPlan((LinkFault(t, t + 8, delay=0.04),)))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, gap=0.5), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_drop_during_2pc(seed: int = 0) -> ScenarioResult:
+    """Half the client's control messages vanish exactly while the first
+    activate runs its 2PC; the retry loop must still reach agreement."""
+    ctx = build_stack(seed, control_timeout=0.5)
+    t = ctx.t0
+    ctx.arm(FaultPlan((
+        LinkFault(t, t + 2.0, src=CLIENT, drop_p=0.5),
+        LinkFault(t, t + 2.0, dst=CLIENT, drop_p=0.5),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=2, attempts=10), max_time=900)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_rdma_slowdown(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, stage_timeout=30.0)
+    t = ctx.t0
+    ctx.arm(FaultPlan((RdmaFault(t, t + 12, factor=50.0),)))
+    sizes = drive(
+        ctx.sim,
+        _workload(ctx, payload=VirtualPayload((1 << 18,), "float64"), gap=0.5),
+        max_time=600,
+    )
+    stage = ctx.sim.trace.durations("colza.stage")
+    return _finish(ctx, {"view_sizes": sizes, "max_stage_s": max(stage)})
+
+
+# ---------------------------------------------------------------------------
+# partitions
+@scenario
+def scenario_partition_brief_heal(seed: int = 0) -> ScenarioResult:
+    """A 1 s partition, shorter than the suspicion timeout: suspicion
+    must end in refutation, never death, and the views re-agree."""
+    ctx = build_stack(seed, swim=_fast_swim(suspect_timeout=3.0))
+    t = ctx.t0
+    victim = ctx.servers[-1]
+    plan = FaultPlan((Partition(t + 1.0, t + 2.0, side_a=(victim,)),))
+    # The window is sized for refutation: a death would be a protocol
+    # bug, so do NOT exempt the partitioned member.
+    ctx.arm(plan)
+    ctx.monitor.exempt.clear()
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, attempts=8, gap=0.6), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes}, settle=8.0)
+
+
+@scenario
+def scenario_partition_during_activate(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, control_timeout=1.0, swim=_fast_swim(suspect_timeout=3.0))
+    t = ctx.t0
+    victim = ctx.servers[0]
+    ctx.arm(FaultPlan((Partition(t, t + 1.2, side_a=(victim,)),)))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=3, attempts=8, gap=0.5), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes}, settle=8.0)
+
+
+@scenario
+def scenario_partition_ejects_minority(seed: int = 0) -> ScenarioResult:
+    """A long partition: the group (correctly) ejects the unreachable
+    minority; since DEAD is terminal the scenario kills the stranded
+    daemon at heal time, and the survivors converge without it."""
+    ctx = build_stack(seed, n_servers=4)
+    t = ctx.t0
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((
+        Partition(t, t + 8.0, side_a=(victim,)),
+        CrashFault(at=t + 8.0, server=victim),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, attempts=8, gap=1.0), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+# ---------------------------------------------------------------------------
+# crashes (Catalyst backend: collective execute + abort-on-death)
+@scenario
+def scenario_crash_mid_execute(seed: int = 0) -> ScenarioResult:
+    """Kill a member mid-collective. Recovery depends entirely on the
+    provider's abort-on-death path (no data-plane timeouts armed): this
+    is the canary scenario the broken-invariant test relies on."""
+    ctx = build_stack(
+        seed, n_servers=3, library=ISO,
+        stage_timeout=None, data_timeout=None,
+        swim=_fast_swim(suspect_timeout=1.0),
+    )
+    sim = ctx.sim
+    # A clean first iteration, then heavy blocks (~2 s of collective
+    # compute per server) with a crash landing inside the execute.
+    drive(sim, _workload(ctx, iterations=1, blocks=3), max_time=600)
+    heavy = VirtualPayload((256, 256, 256), "int32")
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=sim.now + 1.0, server=victim),)))
+    sizes = drive(
+        sim, _workload(ctx, iterations=1, blocks=3, payload=heavy, first=2),
+        max_time=600,
+    )
+    aborts = sim.trace.counters.get("colza.abort_on_death", 0)
+    if aborts < 1:
+        ctx.monitor.violations.append(
+            "crash did not land mid-execute (no abort-on-death fired); "
+            "re-tune the crash offset"
+        )
+    return _finish(ctx, {"view_sizes": sizes, "aborts": aborts})
+
+
+@scenario
+def scenario_crash_mid_stage(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed)
+    t = ctx.t0
+    victim = ctx.servers[1]
+    ctx.arm(FaultPlan((
+        RdmaFault(t, t + 3.0, factor=300.0),
+        CrashFault(at=t + 0.3, server=victim),
+    )))
+    sizes = drive(
+        ctx.sim,
+        _workload(ctx, blocks=8, payload=VirtualPayload((1 << 21,), "float64"),
+                  attempts=8),
+        max_time=600,
+    )
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_crash_between_iterations(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, n_servers=3, library=ISO, data_timeout=None)
+    sim = ctx.sim
+    drive(sim, _workload(ctx, iterations=1, blocks=3), max_time=600)
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=sim.now + 0.05, server=victim),)))
+    sim.run(until=sim.now + 0.1)
+    sizes = drive(sim, _workload(ctx, iterations=2, blocks=3, first=2), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_double_crash(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, n_servers=5)
+    t = ctx.t0
+    ctx.arm(FaultPlan((
+        CrashFault(at=t + 1.0, server=ctx.servers[4]),
+        CrashFault(at=t + 4.0, server=ctx.servers[3]),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, attempts=8, gap=1.5), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_crash_then_join(seed: int = 0) -> ScenarioResult:
+    """A member dies; a replacement is srun'd in mid-run and must be a
+    first-class member (pipeline deployed, part of the frozen view)."""
+    ctx = build_stack(seed, n_servers=3)
+    sim = ctx.sim
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=ctx.t0 + 0.5, server=victim),)))
+    sizes = drive(sim, _workload(ctx, iterations=2, attempts=8, gap=0.4), max_time=600)
+
+    def add_replacement():
+        daemon = yield from ctx.deployment.add_server(node_index=8)
+        yield from ctx.admin().create_pipeline(
+            daemon.address, "pipe", ctx.library, ctx.config
+        )
+        return daemon
+
+    drive(sim, add_replacement(), max_time=300)
+    run_until(sim, ctx.deployment.converged, max_time=60)
+    sizes += drive(sim, _workload(ctx, iterations=1, first=3), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes, "final_members": len(ctx.deployment.addresses())})
+
+
+# ---------------------------------------------------------------------------
+# elastic churn
+@scenario
+def scenario_churn_stress(seed: int = 0) -> ScenarioResult:
+    """Join/leave churn concurrent with the iteration loop."""
+    ctx = build_stack(seed, n_servers=4)
+    sim = ctx.sim
+    rng = sim.rng.stream("chaos.churn")
+
+    def churn():
+        admin = ctx.admin()
+        for i in range(3):
+            yield sim.timeout(1.0 + float(rng.uniform(0.0, 2.0)))
+            live = ctx.deployment.live_daemons()
+            if rng.random() < 0.5 and len(live) > 3:
+                victim = max(live, key=lambda d: d.address)
+                yield from admin.request_leave(victim.address)
+            else:
+                daemon = yield from ctx.deployment.add_server(node_index=10 + i)
+                yield from admin.create_pipeline(
+                    daemon.address, "pipe", ctx.library, ctx.config
+                )
+
+    churn_task = sim.spawn(churn(), name="chaos-churn")
+    sizes = drive(sim, _workload(ctx, iterations=5, attempts=10, gap=1.2), max_time=900)
+    run_until(sim, lambda: churn_task.finished, max_time=300)
+    return _finish(ctx, {"view_sizes": sizes}, settle=10.0)
+
+
+@scenario
+def scenario_deferred_leave_while_frozen(seed: int = 0) -> ScenarioResult:
+    """A leave requested mid-iteration must be deferred until the
+    deactivate, then honored (frozen views stay frozen)."""
+    ctx = build_stack(seed, n_servers=3)
+    sim = ctx.sim
+    handle = ctx.handle
+
+    def body():
+        yield from handle.activate(1)
+        for b in range(3):
+            yield from handle.stage(1, b, LIGHT_BLOCK)
+        victim = max(ctx.deployment.live_daemons(), key=lambda d: d.address)
+        verdict = yield from ctx.admin().request_leave(victim.address)
+        frozen_len = len(handle.frozen_view)
+        yield from handle.execute(1)
+        yield from handle.deactivate(1)
+        return verdict, frozen_len, victim
+
+    verdict, frozen_len, victim = drive(sim, body(), max_time=600)
+    info = {"leave_verdict": verdict, "frozen_len": frozen_len}
+    if verdict != "deferred":
+        ctx.monitor.violations.append(
+            f"leave during frozen view was not deferred (got {verdict!r})"
+        )
+    run_until(sim, lambda: not victim.running, max_time=60)
+    sizes = drive(sim, _workload(ctx, iterations=1, first=2), max_time=600)
+    info["view_sizes"] = sizes
+    if len(ctx.deployment.addresses()) != 2:
+        ctx.monitor.violations.append("deferred leave never happened")
+    return _finish(ctx, info)
+
+
+# ---------------------------------------------------------------------------
+# hangs and slowness
+@scenario
+def scenario_hang_blip(seed: int = 0) -> ScenarioResult:
+    """A 0.6 s hang, shorter than the suspicion timeout: the group may
+    suspect the frozen process but must refute, not eject."""
+    ctx = build_stack(seed, swim=_fast_swim(suspect_timeout=3.0))
+    t = ctx.t0
+    victim = ctx.servers[2]
+    plan = FaultPlan((HangFault(t + 0.5, t + 1.1, server=victim),))
+    ctx.arm(plan)
+    ctx.monitor.exempt.clear()  # refutation expected: death = violation
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, attempts=8, gap=0.4), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes}, settle=8.0)
+
+
+@scenario
+def scenario_hang_eject(seed: int = 0) -> ScenarioResult:
+    """A hang much longer than the suspicion timeout: SWIM must eject
+    the hung process (DEAD is terminal, so the engine kills it at the
+    window's end) and the workload must route around it."""
+    ctx = build_stack(seed, swim=_fast_swim(suspect_timeout=1.0))
+    t = ctx.t0
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((
+        HangFault(t + 0.5, t + 8.0, server=victim, kill_at_end=True),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, attempts=8, gap=1.0), max_time=600)
+    return _finish(ctx, {"view_sizes": sizes})
+
+
+@scenario
+def scenario_slow_node(seed: int = 0) -> ScenarioResult:
+    ctx = build_stack(seed, config={"bytes_per_second": 2e7})
+    t = ctx.t0
+    ctx.arm(FaultPlan((SlowFault(t, t + 30, server=ctx.servers[0], factor=6.0),)))
+    payload = VirtualPayload((1 << 17,), "float64")  # 1 MiB
+    sizes = drive(ctx.sim, _workload(ctx, payload=payload, gap=0.3), max_time=600)
+    execs = ctx.sim.trace.durations("colza.execute")
+    return _finish(ctx, {"view_sizes": sizes, "max_execute_s": max(execs)})
+
+
+@scenario
+def scenario_slow_straggler_autoscale(seed: int = 0) -> ScenarioResult:
+    """A straggler pushes execute time over the elasticity policy's
+    band; the autoscaler (reading the tracer) must grow the area."""
+    from repro.bench.harness import ColzaExperiment
+    from repro.core.elasticity import AutoScaler, ElasticityPolicy
+    from repro.core.pipelines import IsoSurfaceScript
+
+    experiment = ColzaExperiment(
+        n_servers=2, n_clients=1, script=IsoSurfaceScript(field="d", isovalues=[0.5]),
+        library=STATS, seed=seed, pipeline_name="pipe",
+    ).setup()
+    sim = experiment.sim
+    monitor = InvariantMonitor(sim, experiment.deployment).attach()
+    # The stats backend's throughput comes from its config; the harness
+    # doesn't pass one, so slow the node via compute-factor instead.
+    plan = FaultPlan((
+        SlowFault(sim.now, sim.now + 200.0, server=experiment.deployment.daemons[0].name,
+                  factor=2000.0),
+    ))
+    engine = ChaosEngine(sim, plan, experiment.deployment, monitor).install()
+    policy = ElasticityPolicy(target_high=0.5, target_low=1e-4,
+                              cooldown_iterations=0, max_servers=4)
+    scaler = AutoScaler(experiment, policy, next_node=8)
+    payload = VirtualPayload((1 << 21,), "float64")  # 16 MiB
+    decisions = []
+    for it in range(1, 4):
+        experiment.run_iteration(it, [[(b, payload) for b in range(4)]])
+        decision = drive(sim, scaler.step_from_trace(), max_time=300)
+        decisions.append(decision.action)
+    if "grow" not in decisions:
+        monitor.violations.append(f"straggler never triggered growth: {decisions}")
+    try:
+        run_until(sim, experiment.deployment.converged, max_time=60)
+    except TimeoutError:
+        pass
+    monitor.final_check()
+    engine.uninstall()
+    monitor.detach()
+    return ScenarioResult(
+        name="", seed=-1, digest=sim.trace.digest(),
+        violations=list(monitor.violations),
+        info={"decisions": decisions, "servers": len(experiment.deployment.addresses())},
+    )
+
+
+# ---------------------------------------------------------------------------
+# SSG-targeted faults
+@scenario
+def scenario_gossip_false_suspicion(seed: int = 0) -> ScenarioResult:
+    """Suppress all probes of one healthy member long enough to form a
+    suspicion, then stop: refutation (incarnation bump) must win."""
+    ctx = build_stack(seed, swim=_fast_swim(suspect_timeout=3.0))
+    t = ctx.t0
+    victim_name = ctx.servers[1]
+    ctx.arm(FaultPlan((
+        GossipSuppression(t + 1.0, t + 2.2, target=victim_name),
+    )))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=4, gap=0.7), max_time=600)
+    victim = next(d for d in ctx.deployment.daemons if d.name == victim_name)
+    result = _finish(ctx, {"view_sizes": sizes,
+                           "victim_incarnation": victim.agent.incarnation},
+                     settle=8.0)
+    if victim.agent.incarnation < 1:
+        result.violations.append(
+            "suppression never forced a suspicion (victim never refuted); "
+            "widen the window"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the kitchen sink
+@scenario
+def scenario_combo_random(seed: int = 0) -> ScenarioResult:
+    """A fully random plan drawn from the seeded stream: the scenario
+    that keeps growing the regression corpus — every seed is a new
+    schedule, and any seed that ever fails gets pinned in the tests."""
+    ctx = build_stack(seed, n_servers=4, stage_timeout=1.5, data_timeout=4.0,
+                      control_timeout=1.0)
+    rng = ctx.sim.rng.stream("chaos.plan")
+    plan = FaultPlan.random(rng, ctx.servers, horizon=15.0, client=CLIENT)
+    offset = tuple(
+        type(f)(**{**{fld: getattr(f, fld) for fld in f.__dataclass_fields__},
+                   **({"at": f.at + ctx.t0} if hasattr(f, "at")
+                      else {"start": f.start + ctx.t0, "end": f.end + ctx.t0})})
+        for f in plan
+    )
+    ctx.arm(FaultPlan(offset, note=plan.note))
+    sizes = drive(ctx.sim, _workload(ctx, iterations=5, attempts=10, gap=1.0), max_time=900)
+    return _finish(ctx, {"view_sizes": sizes, "plan": ctx.plan.describe()})

@@ -142,6 +142,14 @@ class DistributedPipelineHandle:
         self.policy = get_policy(policy)
         #: The frozen view agreed at the last successful activate.
         self.frozen_view: Tuple[Address, ...] = ()
+        #: Optional deadlines for the data plane. ``stage_timeout``
+        #: bounds each stage RPC, ``data_timeout`` bounds execute /
+        #: deactivate broadcasts. ``None`` (the default) keeps the
+        #: historical wait-forever behaviour for well-behaved fabrics;
+        #: chaos scenarios set these so a dropped control message turns
+        #: into a retryable RpcTimeout instead of a stuck client.
+        self.stage_timeout: Optional[float] = None
+        self.data_timeout: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -236,7 +244,11 @@ class DistributedPipelineHandle:
                     {"pipeline": self.name, "iteration": iteration},
                     timeout=self.CONTROL_TIMEOUT,
                 )
-                sim.trace.end(span, attempts=attempt + 1)
+                sim.trace.end(
+                    span,
+                    attempts=attempt + 1,
+                    view=";".join(str(a) for a in self.frozen_view),
+                )
                 return list(self.frozen_view)
             # Abort the prepared servers, adopt a dissenting view, retry.
             self.frozen_view = proposed
@@ -291,6 +303,7 @@ class DistributedPipelineHandle:
                 "handle": handle,
             },
             nbytes=256,
+            timeout=self.stage_timeout,
         )
         sim.trace.end(span, nbytes=payload_nbytes(payload))
         return result
@@ -300,7 +313,9 @@ class DistributedPipelineHandle:
         sim = self.margo.sim
         span = sim.trace.begin("colza.execute", pipeline=self.name, iteration=iteration)
         results = yield from self._broadcast(
-            "execute", {"pipeline": self.name, "iteration": iteration}
+            "execute",
+            {"pipeline": self.name, "iteration": iteration},
+            timeout=self.data_timeout,
         )
         sim.trace.end(span)
         return results
@@ -309,7 +324,9 @@ class DistributedPipelineHandle:
         sim = self.margo.sim
         span = sim.trace.begin("colza.deactivate", pipeline=self.name, iteration=iteration)
         results = yield from self._broadcast(
-            "deactivate", {"pipeline": self.name, "iteration": iteration}
+            "deactivate",
+            {"pipeline": self.name, "iteration": iteration},
+            timeout=self.data_timeout,
         )
         self.frozen_view = ()
         sim.trace.end(span)

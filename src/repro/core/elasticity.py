@@ -101,3 +101,17 @@ class AutoScaler:
             admin = ColzaAdmin(self.experiment.client_margos[0])
             yield from admin.request_leave(victim.address)
         return decision
+
+    def step_from_trace(self) -> Generator:
+        """Observe the most recent ``colza.execute`` span and act on it.
+
+        Convenience for harnesses that already trace the pipeline: no
+        need to thread execute timings through the driver loop. Holds
+        (without consuming cooldown) when no execute has finished yet.
+        """
+        sim = self.experiment.sim
+        spans = [s for s in sim.trace.spans if s.name == "colza.execute" and s.end is not None]
+        if not spans:
+            yield sim.timeout(0)
+            return Decision("hold", "no execute span yet")
+        return (yield from self.step(spans[-1].duration))

@@ -14,6 +14,7 @@ pipeline's communicator at the *next* activate.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.backend import Backend, StagedBlock, create_backend
@@ -45,8 +46,12 @@ class ColzaProvider(Provider):
         self.agent = agent
         self.mona = mona_instance
         self.pipelines: Dict[str, Backend] = {}
-        #: (pipeline, iteration) pairs currently active (frozen).
-        self._active: set = set()
+        #: (pipeline, iteration) -> activation epoch. The epoch token
+        #: lets long-running handlers (e.g. a stage blocked mid-RDMA)
+        #: detect that their iteration was deactivated — or aborted and
+        #: re-activated — while they were suspended.
+        self._active: Dict[Tuple[str, int], int] = {}
+        self._epochs = itertools.count(1)
         #: (pipeline, iteration) -> prepared view from 2PC phase 1.
         self._prepared: Dict[Tuple[str, int], Tuple[Address, ...]] = {}
         #: Leave was requested while frozen; honored at deactivate.
@@ -95,6 +100,7 @@ class ColzaProvider(Provider):
             name, _iteration = key
             pipeline = self.pipelines.get(name)
             if pipeline is not None and member in pipeline.current_view:
+                self.margo.sim.trace.add("colza.abort_on_death")
                 pipeline.abort_execution(f"member {member} died")
 
     # ------------------------------------------------------------------
@@ -149,7 +155,7 @@ class ColzaProvider(Provider):
         view = self._prepared.pop(key, None)
         if view is None:
             raise RuntimeError(f"commit without prepare for {key}")
-        self._active.add(key)
+        self._active[key] = next(self._epochs)
         pipeline = self.pipelines[name]
         yield from pipeline.activate(iteration, list(view))
         return "activated"
@@ -164,13 +170,21 @@ class ColzaProvider(Provider):
     def _rpc_stage(self, input: dict) -> Generator:
         name = input["pipeline"]
         iteration = input["iteration"]
-        if (name, iteration) not in self._active:
+        epoch = self._active.get((name, iteration))
+        if epoch is None:
             raise RuntimeError(
                 f"stage for inactive iteration {iteration} of {name!r}"
             )
         handle: MemoryHandle = input["handle"]
         # Pull the data from the simulation's memory via RDMA (§II-B).
         payload = yield self.margo.bulk_pull(handle)
+        # The RDMA pull suspended us for a while; the iteration may have
+        # been deactivated (or aborted and re-activated — a new epoch)
+        # in the meantime. Refuse to write into the wrong activation.
+        if self._active.get((name, iteration)) != epoch:
+            raise RuntimeError(
+                f"stage raced deactivate for iteration {iteration} of {name!r}"
+            )
         block = StagedBlock(
             block_id=input["block_id"], metadata=dict(input.get("metadata") or {}),
             payload=payload,
@@ -195,7 +209,7 @@ class ColzaProvider(Provider):
         pipeline = self.pipelines.get(name)
         if pipeline is not None:
             yield from pipeline.deactivate(iteration)
-        self._active.discard(key)
+        self._active.pop(key, None)
         if not self._active and self._leave_deferred:
             self._leave_deferred = False
             self.leaving = True

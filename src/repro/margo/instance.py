@@ -127,7 +127,15 @@ class MargoInstance:
         return self.xstream.spawn(gen, name=name or f"{self.name}.ult")
 
     def compute(self, seconds: float) -> Generator[Event, Any, None]:
-        """Charge serialized compute on this process's core."""
+        """Charge serialized compute on this process's core.
+
+        A ``"margo.compute"`` interceptor may return a cost multiplier
+        (slow-node fault injection: thermal throttling, a noisy
+        neighbor, a failing disk behind the pipeline).
+        """
+        factor = self.sim.intercept("margo.compute", self.name)
+        if factor is not None:
+            seconds *= float(factor)
         return (yield from self.xstream.compute(seconds))
 
     # lifecycle --------------------------------------------------------------

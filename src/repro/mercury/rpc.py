@@ -15,8 +15,9 @@ so RPC-heavy control paths (2PC, SSG gossip) cost realistic time.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Deque, Dict, Generator, Optional, Tuple
 
 from repro.na.address import Address
 from repro.na.costmodel import CostModel, get_cost_model
@@ -76,6 +77,12 @@ class MercuryInstance:
         self.endpoint: Endpoint = fabric.register(name, node_index, self.model)
         self._handlers: Dict[str, Handler] = {}
         self._reply_seq = itertools.count()
+        # At-most-once dispatch: a transport may deliver one request
+        # twice (duplication faults); replaying a handler would stage a
+        # block twice or re-run a 2PC vote. Remember recently seen
+        # request identities and drop replays.
+        self._seen_requests: set = set()
+        self._seen_order: Deque[Tuple[Address, str]] = deque()
         self._finalized = False
         self._dispatch_task: Task = sim.spawn(self._dispatch_loop(), name=f"{name}.hg-dispatch")
 
@@ -173,16 +180,32 @@ class MercuryInstance:
 
     # ------------------------------------------------------------------
     # server side
+    _SEEN_REQUEST_LIMIT = 1024
+
     def _dispatch_loop(self) -> Generator[Event, Any, None]:
         while True:
             msg: Message = yield self.endpoint.recv(tag=_RPC_TAG)
             request: RpcRequest = msg.payload
+            ident = (request.reply_to, request.reply_tag)
+            if ident in self._seen_requests:
+                continue  # duplicate delivery: already dispatched
+            self._seen_requests.add(ident)
+            self._seen_order.append(ident)
+            if len(self._seen_order) > self._SEEN_REQUEST_LIMIT:
+                self._seen_requests.discard(self._seen_order.popleft())
             self.sim.spawn(
                 self._run_handler(request),
                 name=f"{self.name}.rpc.{request.name}",
             )
 
     def _run_handler(self, request: RpcRequest) -> Generator[Event, Any, None]:
+        # Fault injection point: a "hang" verdict freezes this handler
+        # ULT forever — the process looks alive to the network (its
+        # endpoint accepts messages) but never answers, the failure mode
+        # SWIM cannot distinguish from a crash.
+        if self.sim.intercept("hg.handler", self.name, request.name) == "hang":
+            yield Event(self.sim, name=f"{self.name}.chaos-hang")
+            return
         handler = self._handlers.get(request.name)
         if handler is None:
             yield self._respond(request, ("unknown", request.name))

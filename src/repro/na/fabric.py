@@ -31,7 +31,7 @@ from repro.na.costmodel import CostModel
 from repro.na.payload import MemoryHandle, payload_nbytes
 from repro.sim.kernel import Event, Simulation
 
-__all__ = ["Endpoint", "Fabric", "Message", "NAError", "ANY"]
+__all__ = ["Endpoint", "Fabric", "LinkAction", "Message", "NAError", "ANY"]
 
 #: Wildcard for tag/source matching in ``recv``.
 ANY = None
@@ -39,6 +39,22 @@ ANY = None
 
 class NAError(RuntimeError):
     """Network-abstraction protocol violation (bad registration etc.)."""
+
+
+@dataclass(frozen=True)
+class LinkAction:
+    """Verdict returned by a ``"na.send"`` interceptor for one message.
+
+    ``drop``      — the message never reaches the destination mailbox
+                    (datagram semantics: the sender's completion event
+                    still fires after the transit time);
+    ``delay``     — extra seconds added to the transit time;
+    ``duplicate`` — a second copy is delivered alongside the original.
+    """
+
+    drop: bool = False
+    delay: float = 0.0
+    duplicate: bool = False
 
 
 @dataclass
@@ -193,9 +209,17 @@ class Fabric:
                 return Event(self.sim, name="send-from-dead")  # never fires
             raise NAError(f"send from deregistered endpoint {src.address}")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        # Fault injection point: consulted before transit-cost charging
+        # so injected delays shift the arrival (and the FIFO horizon)
+        # exactly as slow links would.
+        action: Optional[LinkAction] = self.sim.intercept(
+            "na.send", src.address, dest, size, tag
+        )
         dest_ep = self._endpoints.get(dest)
         same_node = dest_ep is not None and dest_ep.node_index == src.node_index
         transit = src.model.p2p_time(size, same_node=same_node)
+        if action is not None and action.delay > 0:
+            transit += action.delay
 
         key = (src.address, dest)
         arrive = max(self.sim.now + transit, self._fifo_horizon.get(key, 0.0))
@@ -215,14 +239,24 @@ class Fabric:
             arrived_at=arrive,
         )
 
+        dropped = action is not None and action.drop
+
         def arrive_cb() -> None:
             target = self._endpoints.get(dest)
-            if target is not None and target.alive:
+            if not dropped and target is not None and target.alive:
                 target._mailbox.deliver(msg)
             # Dropped silently if the endpoint died in flight.
             done.succeed(msg)
 
         self.sim._schedule_at(arrive, arrive_cb)
+        if action is not None and action.duplicate and not dropped:
+
+            def duplicate_cb() -> None:
+                target = self._endpoints.get(dest)
+                if target is not None and target.alive:
+                    target._mailbox.deliver(msg)
+
+            self.sim._schedule_at(arrive, duplicate_cb)
         return done
 
     def recv(self, ep: Endpoint, tag: Hashable = ANY, source: Optional[Address] = ANY) -> Event:
@@ -245,6 +279,9 @@ class Fabric:
         owner_ep = self._endpoints.get(handle.owner)
         same_node = owner_ep is not None and owner_ep.node_index == puller.node_index
         cost = puller.model.rdma_time(handle.nbytes, same_node=same_node)
+        factor = self.sim.intercept("na.rdma", puller.address, handle.owner, handle.nbytes)
+        if factor is not None:
+            cost *= float(factor)
         self.bytes_sent += handle.nbytes
         return self._bulk_transfer(puller, cost, lambda: handle.payload, "rdma_pull")
 
@@ -254,6 +291,9 @@ class Fabric:
         same_node = owner_ep is not None and owner_ep.node_index == pusher.node_index
         size = payload_nbytes(payload)
         cost = pusher.model.rdma_time(size, same_node=same_node)
+        factor = self.sim.intercept("na.rdma", pusher.address, handle.owner, size)
+        if factor is not None:
+            cost *= float(factor)
         self.bytes_sent += size
 
         def apply() -> Any:

@@ -348,6 +348,10 @@ class Simulation:
         self.strict = strict
         self._current_task: Optional[Task] = None
         self.tasks: list[Task] = []
+        # Named interception points (see add_interceptor). Kept as a
+        # plain dict so un-instrumented runs pay one dict lookup per
+        # hook site and nothing more.
+        self._interceptors: dict[str, list[Callable[..., Any]]] = {}
         # Deferred import keeps kernel importable standalone.
         from repro.sim.rng import RngRegistry
 
@@ -366,6 +370,43 @@ class Simulation:
     def current_task(self) -> Optional[Task]:
         """The task currently executing (None outside task context)."""
         return self._current_task
+
+    # ------------------------------------------------------------------
+    # interception points (fault injection / instrumentation)
+    def add_interceptor(self, point: str, fn: Callable[..., Any]) -> None:
+        """Register ``fn`` at a named interception point.
+
+        Library layers consult points (``"na.send"``, ``"hg.handler"``,
+        ``"margo.compute"``, ``"ssg.gossip"``, ...) via :meth:`intercept`
+        at well-defined places in their fast paths; fault-injection and
+        instrumentation tools hook in without subclassing. Interceptors
+        at one point are consulted in registration order; the first
+        non-``None`` return value wins.
+        """
+        self._interceptors.setdefault(point, []).append(fn)
+
+    def remove_interceptor(self, point: str, fn: Callable[..., Any]) -> None:
+        """Unregister ``fn`` from ``point`` (no-op if absent)."""
+        fns = self._interceptors.get(point)
+        if not fns:
+            return
+        try:
+            fns.remove(fn)
+        except ValueError:
+            return
+        if not fns:
+            del self._interceptors[point]
+
+    def intercept(self, point: str, *args: Any) -> Any:
+        """Consult ``point``; returns the first non-None verdict (or None)."""
+        fns = self._interceptors.get(point)
+        if not fns:
+            return None
+        for fn in fns:
+            verdict = fn(*args)
+            if verdict is not None:
+                return verdict
+        return None
 
     # ------------------------------------------------------------------
     # construction of events

@@ -37,6 +37,10 @@ class Tracer:
         self.spans: List[Span] = []
         self.counters: Dict[str, float] = {}
         self.enabled = True
+        #: Callbacks invoked with each span as it finishes (invariant
+        #: monitors, live dashboards). Exceptions propagate — a checker
+        #: failing is a test failure, not something to swallow.
+        self.on_end: List[Any] = []
 
     # ------------------------------------------------------------------
     def begin(self, name: str, **tags: Any) -> Span:
@@ -50,6 +54,8 @@ class Tracer:
         """Close a span at the current simulated time."""
         span.end = self._sim.now
         span.tags.update(tags)
+        for cb in self.on_end:
+            cb(span)
         return span
 
     def add(self, counter: str, amount: float = 1.0) -> None:
@@ -93,6 +99,27 @@ class Tracer:
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2, default=str)
         return path
+
+    def digest(self) -> str:
+        """Stable SHA-256 over all finished spans and counters.
+
+        Canonicalization: spans in creation order, tags sorted by key
+        and rendered through ``str`` for non-JSON values, floats via
+        their shortest round-trip repr. Two runs of the same seeded
+        program produce byte-identical digests — the determinism oracle
+        of the chaos suite (same seed ⇒ same digest).
+        """
+        import hashlib
+        import json
+
+        records = self.to_records()
+        payload = json.dumps(
+            {"spans": records, "counters": self.counters},
+            sort_keys=True,
+            default=str,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-span-name aggregate: count, total and mean duration."""

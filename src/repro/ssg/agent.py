@@ -76,6 +76,9 @@ class SSGAgent(Provider):
         self.view = MembershipView(margo.address)
         self.incarnation = 0
         self.observer = observer
+        #: Additional membership listeners (invariant monitors, metrics)
+        #: notified after ``observer``; see :meth:`add_observer`.
+        self._extra_observers: List[Callable[[str, Address], None]] = []
         self.running = False
         self._outbox: Dict[Update, int] = {}
         self._probe_order: List[Address] = []
@@ -95,6 +98,23 @@ class SSGAgent(Provider):
     def members(self) -> List[Address]:
         """Sorted addresses this agent currently believes are members."""
         return self.view.alive()
+
+    def add_observer(self, observer: Callable[[str, Address], None]) -> None:
+        """Subscribe an extra membership listener (does not displace the
+        primary ``observer`` slot the Colza provider owns)."""
+        self._extra_observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[str, Address], None]) -> None:
+        try:
+            self._extra_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify(self, event: str, member: Address) -> None:
+        if self.observer is not None:
+            self.observer(event, member)
+        for extra in self._extra_observers:
+            extra(event, member)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -185,8 +205,15 @@ class SSGAgent(Provider):
         return self._next_probe_target()
 
     def _probe(self, target: Address) -> Generator:
+        # SWIM §4.2: a ping to a member we hold SUSPECT carries the
+        # suspicion explicitly, even after the rumor's retransmission
+        # budget is spent — a reachable suspect must always get the
+        # chance to refute before the suspicion timer expires.
+        extra = None
+        if self.view.status_of(target) is Status.SUSPECT:
+            extra = [Update(Status.SUSPECT, target, self.view.incarnation_of(target))]
         try:
-            yield from self._send_ping(target)
+            yield from self._send_ping(target, extra=extra)
             return
         except (RpcTimeout, RpcError):
             pass
@@ -195,6 +222,11 @@ class SSGAgent(Provider):
             self._suspect(target)
 
     def _send_ping(self, target: Address, extra: Optional[List[Update]] = None) -> Generator:
+        # Fault injection point: suppressed gossip looks exactly like a
+        # lost probe — the deadline elapses, then the timeout fires.
+        if self.margo.sim.intercept("ssg.gossip", self.address, target):
+            yield self.margo.sim.timeout(self.config.ping_timeout)
+            raise RpcTimeout(f"ssg ping {self.address}->{target} suppressed")
         updates = self._piggyback()
         if extra:
             updates = list(extra) + updates
@@ -229,6 +261,11 @@ class SSGAgent(Provider):
         return any(results)
 
     def _ping_req_one(self, proxy: Address, target: Address) -> Generator:
+        # Suppression is keyed on (prober, target): indirect probes of a
+        # suppressed target fail too, so suspicion can actually form.
+        if self.margo.sim.intercept("ssg.gossip", self.address, target):
+            yield self.margo.sim.timeout(self.config.ping_req_timeout)
+            return False
         try:
             status = yield from self.margo.provider_call(
                 proxy,
@@ -293,11 +330,10 @@ class SSGAgent(Provider):
             return False
         self._queue_update(update)
         is_member = self.view.contains(update.member)
-        if self.observer is not None:
-            if not was_member and is_member:
-                self.observer(JOINED, update.member)
-            elif was_member and not is_member:
-                self.observer(LEFT if update.status is Status.LEFT else DIED, update.member)
+        if not was_member and is_member:
+            self._notify(JOINED, update.member)
+        elif was_member and not is_member:
+            self._notify(LEFT if update.status is Status.LEFT else DIED, update.member)
         return True
 
     def _handle_update_about_self(self, update: Update) -> bool:

@@ -19,6 +19,7 @@ __all__ = [
     "build_margo_ring",
     "build_mona_world",
     "build_ssg_group",
+    "chaos_sim",
     "drive",
     "run_all",
     "run_until",
@@ -33,19 +34,36 @@ def run_until(
 ) -> float:
     """Advance the simulation until ``predicate()`` holds.
 
-    Returns the simulated time at which it first held (checked every
-    ``step`` seconds). Raises ``TimeoutError`` once more than
-    ``max_time`` simulated seconds have elapsed *since the call*.
+    Returns the simulated time at which it was first observed to hold.
+    Raises ``TimeoutError`` once more than ``max_time`` simulated
+    seconds have elapsed *since the call*.
+
+    The predicate is checked every ``step`` seconds of simulated time,
+    except inside the final window before the deadline, which is
+    stepped event by event: a condition that first holds between the
+    last coarse checkpoint and the deadline is still observed rather
+    than misreported as a timeout.
     """
     deadline = sim.now + max_time
-    while not predicate():
+    while True:
+        if predicate():
+            return sim.now
         if sim.now >= deadline:
             raise TimeoutError(
                 f"condition not reached by t={sim.now:.2f}s "
                 f"({max_time}s after the call)"
             )
-        sim.run(until=sim.now + step)
-    return sim.now
+        window_end = sim.now + step
+        if window_end >= deadline:
+            # Final window: advance one event at a time so the predicate
+            # is re-evaluated at every state change up to the deadline.
+            nxt = sim.peek()
+            if nxt is None or nxt > deadline:
+                sim.run(until=deadline)
+            else:
+                sim.step()
+        else:
+            sim.run(until=window_end)
 
 
 def drive(sim: Simulation, gen: Generator, max_time: float = 600.0):
@@ -130,3 +148,42 @@ def build_ssg_group(
         drive(sim, agent.start())
         agents.append(agent)
     return fabric, group_file, agents
+
+
+# ---------------------------------------------------------------------------
+# pytest integration (optional: importable without pytest installed)
+try:
+    import pytest as _pytest
+except ImportError:  # pragma: no cover
+    _pytest = None
+
+if _pytest is not None:
+
+    @_pytest.fixture
+    def chaos_sim():
+        """Factory fixture for chaos-ready Colza stacks.
+
+        Yields a callable with the signature of
+        :func:`repro.chaos.build_stack` — each call returns a booted
+        :class:`~repro.chaos.ChaosContext` (simulation, deployment,
+        client handle, invariant monitor). Teardown uninstalls any
+        armed chaos engine and detaches the monitors, so scenarios
+        cannot leak interceptors between tests.
+        """
+        from repro.chaos import build_stack
+
+        contexts = []
+
+        def factory(seed: int = 0, **kwargs):
+            ctx = build_stack(seed, **kwargs)
+            contexts.append(ctx)
+            return ctx
+
+        yield factory
+        for ctx in contexts:
+            if ctx.engine is not None and ctx.engine.installed:
+                ctx.engine.uninstall()
+            ctx.monitor.detach()
+
+else:  # pragma: no cover
+    chaos_sim = None

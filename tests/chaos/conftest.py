@@ -1,0 +1,3 @@
+"""Shared fixtures for the chaos suite."""
+
+from repro.testing import chaos_sim  # noqa: F401

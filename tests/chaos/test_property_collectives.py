@@ -1,0 +1,123 @@
+"""Property test: optimized MoNA collectives vs NumPy, 50 random combos.
+
+One seeded generator draws 50 (comm size, root, dtype, element count)
+combinations — including 1-rank communicators, non-power-of-two sizes,
+and payloads smaller than the communicator (the shapes that force
+algorithm fallbacks). For each combo the binomial reduce, the
+scatter_allgather bcast, and the rabenseifner allreduce must agree with
+a plain NumPy reference: exactly for integer dtypes (integer addition
+is associative), within floating tolerance for float dtypes (tree
+reduction reorders the sums).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mona import SUM
+from repro.sim import Simulation
+from repro.testing import build_mona_world, run_all
+
+_DTYPES = ["float32", "float64", "int32", "int64"]
+
+
+def _draw_combos():
+    rng = np.random.default_rng(20260806)
+    combos = []
+    for i in range(50):
+        size = int(rng.integers(1, 9))
+        combos.append(
+            (
+                i,
+                size,
+                int(rng.integers(0, size)),
+                _DTYPES[int(rng.integers(0, len(_DTYPES)))],
+                int(rng.integers(1, 5000)),
+            )
+        )
+    # Pin the awkward shapes so they are always represented regardless
+    # of what the generator happened to draw.
+    combos[0] = (0, 1, 0, "float64", 17)  # single-rank communicator
+    combos[1] = (1, 3, 1, "int32", 1)  # payload smaller than the comm
+    combos[2] = (2, 7, 6, "float32", 4097)  # non-pow2 comm and payload
+    combos[3] = (3, 5, 2, "int64", 5)  # payload == comm size
+    return combos
+
+
+COMBOS = _draw_combos()
+_IDS = [f"c{i}-n{n}-root{r}-{d}-{k}" for i, n, r, d, k in COMBOS]
+
+
+def _rank_data(case_id, rank, dtype, n):
+    rng = np.random.default_rng(1_000_003 * case_id + rank)
+    # Small magnitudes: integer sums cannot overflow, float sums stay
+    # well-conditioned.
+    return rng.integers(0, 100, size=n).astype(dtype)
+
+
+def _materialize(case):
+    case_id, size, root, dtype, n = case
+    sim = Simulation(seed=case_id)
+    _, _, comms = build_mona_world(sim, size)
+    datas = [_rank_data(case_id, r, dtype, n) for r in range(size)]
+    return sim, comms, datas
+
+
+def _assert_matches(result, expected):
+    assert result.dtype == expected.dtype
+    assert result.shape == expected.shape
+    if np.issubdtype(expected.dtype, np.integer):
+        assert np.array_equal(result, expected)
+    else:
+        np.testing.assert_allclose(result, expected, rtol=1e-5)
+
+
+@pytest.mark.parametrize("case", COMBOS, ids=_IDS)
+def test_binomial_reduce_matches_numpy(case):
+    _, size, root, dtype, n = case
+    sim, comms, datas = _materialize(case)
+    expected = np.sum(np.stack(datas), axis=0).astype(dtype)
+
+    def body(c):
+        return (
+            yield from c.reduce(datas[c.rank], op=SUM, root=root, algorithm="binomial")
+        )
+
+    results = run_all(sim, [body(c) for c in comms])
+    for rank, result in enumerate(results):
+        if rank == root:
+            _assert_matches(result, expected)
+        else:
+            assert result is None
+
+
+@pytest.mark.parametrize("case", COMBOS, ids=_IDS)
+def test_scatter_allgather_bcast_matches_numpy(case):
+    _, size, root, dtype, n = case
+    sim, comms, datas = _materialize(case)
+    expected = datas[root]
+
+    def body(c):
+        payload = datas[root] if c.rank == root else None
+        return (
+            yield from c.bcast(payload, root=root, algorithm="scatter_allgather")
+        )
+
+    for result in run_all(sim, [body(c) for c in comms]):
+        # Broadcast moves bytes, it never recombines them: exact always.
+        assert result.dtype == expected.dtype
+        assert np.array_equal(result, expected)
+
+
+@pytest.mark.parametrize("case", COMBOS, ids=_IDS)
+def test_rabenseifner_allreduce_matches_numpy(case):
+    _, size, root, dtype, n = case
+    sim, comms, datas = _materialize(case)
+    expected = np.sum(np.stack(datas), axis=0).astype(dtype)
+
+    def body(c):
+        return (
+            yield from c.allreduce(datas[c.rank], op=SUM, algorithm="rabenseifner")
+        )
+
+    for result in run_all(sim, [body(c) for c in comms]):
+        _assert_matches(result, expected)

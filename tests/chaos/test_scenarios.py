@@ -1,0 +1,89 @@
+"""The chaos regression fleet: every scenario, pinned seeds, invariants.
+
+Three layers of assurance:
+
+1. every registered scenario holds the DESIGN §6 invariants at two
+   pinned seeds (seeds that ever fail get appended here, never removed);
+2. a subset re-runs under the same seed and must reproduce the exact
+   trace digest — the determinism oracle that makes failures replayable;
+3. a canary: deliberately breaking the provider's abort-on-death path
+   must make at least one scenario fail, proving the harness can catch
+   a real protocol regression (a fleet that cannot fail proves nothing).
+"""
+
+import pytest
+
+from repro.chaos import run_scenario, scenario_names
+
+SEEDS = [0, 1]
+
+#: Scenarios re-run twice per seed; chosen to cover every fault layer
+#: (link, RDMA, process, SSG) plus the random-plan generator.
+DETERMINISM_SUBSET = [
+    "baseline_no_faults",
+    "drop_storm",
+    "partition_ejects_minority",
+    "crash_mid_execute",
+    "churn_stress",
+    "combo_random",
+]
+
+
+def test_fleet_is_large_enough():
+    assert len(scenario_names()) >= 20
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_holds_invariants(name, seed):
+    result = run_scenario(name, seed=seed)
+    assert result.ok, (
+        f"{name} (seed={seed}) violated invariants:\n" + "\n".join(result.violations)
+    )
+
+
+@pytest.mark.parametrize("name", DETERMINISM_SUBSET)
+def test_scenario_is_deterministic(name):
+    first = run_scenario(name, seed=7)
+    second = run_scenario(name, seed=7)
+    assert first.digest == second.digest, f"{name} is not replayable under seed 7"
+    assert first.info == second.info
+    other = run_scenario(name, seed=8)
+    assert other.digest != first.digest, f"{name} digest ignores the seed"
+
+
+# ---------------------------------------------------------------------------
+# the faults must actually bite (a fleet of no-ops would also "pass")
+def test_crash_then_join_restores_capacity():
+    result = run_scenario("crash_then_join", seed=1)
+    sizes = result.info["view_sizes"]
+    assert min(sizes) < sizes[0], "the crash never shrank the frozen view"
+    assert sizes[-1] == sizes[0], "the replacement never rejoined the view"
+    assert result.info["final_members"] == sizes[0]
+
+
+def test_crash_mid_execute_exercises_abort_path():
+    result = run_scenario("crash_mid_execute", seed=1)
+    assert result.info["aborts"] >= 1
+    assert result.info["view_sizes"] == [2]
+
+
+def test_gossip_suppression_forces_a_refutation():
+    result = run_scenario("gossip_false_suspicion", seed=1)
+    assert result.info["victim_incarnation"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the canary
+def test_broken_abort_on_death_is_caught(monkeypatch):
+    """Disable the provider's lost-member abort: the collective execute
+    now blocks forever on the dead peer, and crash_mid_execute (which
+    deliberately arms no data-plane timeouts) must fail instead of
+    passing vacuously."""
+    from repro.core.provider import ColzaProvider
+
+    monkeypatch.setattr(
+        ColzaProvider, "_on_membership_change", lambda self, event, member: None
+    )
+    with pytest.raises(TimeoutError):
+        run_scenario("crash_mid_execute", seed=1)

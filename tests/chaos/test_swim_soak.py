@@ -1,0 +1,78 @@
+"""SWIM soak test: pure membership churn, zero injected failures.
+
+Joins and graceful leaves arrive on a seeded schedule while the group
+gossips normally. Two properties must hold at every seed:
+
+- **no false deaths**: a member that is alive and reachable is never
+  declared dead by anyone (a gracefully-departed member may later be
+  declared dead by stragglers that missed the LEFT rumor — that verdict
+  describes a process that really is gone, so it is exempt);
+- **reconvergence**: once the churn stops, every running agent's view
+  settles on exactly the set of running agents.
+"""
+
+import pytest
+
+from repro.margo import MargoInstance
+from repro.na import get_cost_model
+from repro.sim import Simulation
+from repro.ssg import SSGAgent, SwimConfig
+from repro.testing import build_ssg_group, drive, run_until
+
+CFG = SwimConfig(period=0.2, suspect_timeout=1.5)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_churn_soak_no_false_deaths(seed):
+    sim = Simulation(seed=seed)
+    rng = sim.rng.stream("soak.churn")
+    violations = []
+    departed = set()  # addresses that left gracefully (their later
+    #                   death verdicts describe a real absence)
+    agents = []
+
+    def watch(agent):
+        def observe(event, member):
+            if event == "died" and str(member) not in departed:
+                violations.append(
+                    f"t={sim.now:.2f}: {agent.address} declared live member "
+                    f"{member} dead during failure-free churn"
+                )
+
+        agent.add_observer(observe)
+
+    fabric, group_file, initial = build_ssg_group(sim, 5, config=CFG)
+    agents.extend(initial)
+    for agent in agents:
+        watch(agent)
+
+    model = get_cost_model("mona")
+    joins = leaves = 0
+    for i in range(8):
+        sim.run(until=sim.now + 0.5 + float(rng.uniform(0.0, 1.0)))
+        running = [a for a in agents if a.running]
+        if rng.random() < 0.5 and len(running) > 3:
+            victim = running[int(rng.integers(0, len(running)))]
+            departed.add(str(victim.address))
+            drive(sim, victim.leave())
+            leaves += 1
+        else:
+            margo = MargoInstance(sim, fabric, f"joiner-{i}", 10 + i, model)
+            agent = SSGAgent(margo, group_file, config=CFG)
+            watch(agent)
+            drive(sim, agent.start())
+            agents.append(agent)
+            joins += 1
+    assert joins >= 1 and leaves >= 1, "the schedule produced no real churn"
+
+    def converged():
+        running = [a for a in agents if a.running]
+        member_set = {str(a.address) for a in running}
+        return all(
+            {str(m) for m in a.members()} == member_set for a in running
+        )
+
+    run_until(sim, converged, max_time=60)
+    sim.run(until=sim.now + 10)  # soak a while longer at steady state
+    assert converged(), "views drifted apart after reconvergence"
+    assert not violations, "\n".join(violations)
