@@ -6,10 +6,15 @@ Usage::
     python -m repro.bench table1 table2
     python -m repro.bench fig5 --arg scales=[4,16]
     python -m repro.bench all
+    python -m repro.bench report --controller mona --chrome trace.json
 
-Each experiment prints its structured results; the pytest-benchmark
-entry points under ``benchmarks/`` remain the canonical paper-vs-
-measured harness (with assertions) — this CLI is for interactive use.
+``report`` runs a small end-to-end ColzaExperiment and prints the
+telemetry report (span summary, per-iteration critical path, metrics);
+``--chrome PATH`` additionally writes a Perfetto-loadable Chrome
+``trace_event`` file. Each experiment prints its structured results;
+the pytest-benchmark entry points under ``benchmarks/`` remain the
+canonical paper-vs-measured harness (with assertions) — this CLI is
+for interactive use.
 """
 
 from __future__ import annotations
@@ -73,7 +78,55 @@ def _jsonable(obj: Any) -> Any:
     return obj
 
 
+def _run_report(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench report",
+        description="Run a small ColzaExperiment and print its telemetry report.",
+    )
+    parser.add_argument("--servers", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--controller", default="mona", choices=["mona", "mpi"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a Chrome trace_event JSON (load in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import ColzaExperiment
+    from repro.core.pipelines import IsoSurfaceScript
+    from repro.na import VirtualPayload
+    from repro.telemetry import render_text_report, telemetry_report, write_chrome_trace
+
+    exp = ColzaExperiment(
+        args.servers, args.clients,
+        IsoSurfaceScript(field="dist", isovalues=[1.0]),
+        controller=args.controller, seed=args.seed,
+        width=64, height=64, library="libcolza-iso.so",
+    ).setup()
+    payload = VirtualPayload((8192,), "float64")
+    for it in range(1, args.iterations + 1):
+        blocks = [[(c, payload)] for c in range(args.clients)]
+        exp.run_iteration(it, blocks)
+
+    report = telemetry_report(exp.sim, pipeline=exp.pipeline_name)
+    if args.json:
+        print(json.dumps(_jsonable(report), indent=2))
+    else:
+        print(render_text_report(report))
+    if args.chrome:
+        path = write_chrome_trace(exp.sim.trace, args.chrome, metrics=exp.sim.metrics)
+        print(f"chrome trace written to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return _run_report(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Run Colza-reproduction experiments interactively.",

@@ -4,8 +4,11 @@ A :class:`ColzaExperiment` assembles the full stack — cluster, staging
 deployment, N client processes, a deployed Catalyst pipeline in MoNA or
 MPI mode — and drives iterations of the standard protocol: one client
 runs the 2PC ``activate``, all clients ``stage`` their blocks
-concurrently, then ``execute`` + ``deactivate``. Per-call durations
-are read back from the simulation tracer.
+concurrently, then ``execute`` + ``deactivate``. Each iteration is
+wrapped in a ``colza.iteration`` span and its :class:`IterationTiming`
+is a *view over the span tree* — every number the bench suite reports
+flows through the same hierarchy the Chrome export and the
+critical-path analyzer read.
 """
 
 from __future__ import annotations
@@ -41,6 +44,33 @@ class IterationTiming:
     @property
     def total(self) -> float:
         return self.activate + self.stage_total + self.execute + self.deactivate
+
+    @classmethod
+    def from_span_tree(cls, node) -> "IterationTiming":
+        """Derive the phase breakdown from one ``colza.iteration``
+        :class:`~repro.telemetry.tree.SpanNode`.
+
+        Children arrive in span-begin order, so the stage sum
+        accumulates in the same order the flat-list scraping used to —
+        bit-identical totals on the same seed.
+        """
+
+        def durations(name: str) -> List[float]:
+            return [c.duration for c in node.children if c.name == name and c.finished]
+
+        stages = durations("colza.stage")
+        activate = durations("colza.activate")
+        execute = durations("colza.execute")
+        deactivate = durations("colza.deactivate")
+        return cls(
+            iteration=node.tags.get("iteration", -1),
+            activate=activate[-1] if activate else 0.0,
+            stage_total=sum(stages),
+            stage_mean=sum(stages) / len(stages) if stages else 0.0,
+            execute=execute[-1] if execute else 0.0,
+            deactivate=deactivate[-1] if deactivate else 0.0,
+            n_servers=node.tags.get("n_servers", 0),
+        )
 
 
 class ColzaExperiment:
@@ -178,19 +208,27 @@ class ColzaExperiment:
         """activate (2PC, client 0) -> concurrent stage -> execute -> deactivate."""
         sim = self.sim
         lead = self.handles[0]
-        yield from lead.activate(iteration)
-        frozen = lead.frozen_view
-        tasks = []
-        for ci, blocks in enumerate(blocks_per_client):
-            handle = self.handles[ci]
-            handle.frozen_view = frozen
-            tasks.append(
-                sim.spawn(self._stage_all(handle, iteration, blocks), name=f"stage-c{ci}")
-            )
-        if tasks:
-            yield sim.all_of([t.join() for t in tasks])
-        yield from lead.execute(iteration)
-        yield from lead.deactivate(iteration)
+        span = sim.trace.begin(
+            "colza.iteration", pipeline=self.pipeline_name, iteration=iteration
+        )
+        try:
+            yield from lead.activate(iteration)
+            frozen = lead.frozen_view
+            tasks = []
+            for ci, blocks in enumerate(blocks_per_client):
+                handle = self.handles[ci]
+                handle.frozen_view = frozen
+                tasks.append(
+                    sim.spawn(self._stage_all(handle, iteration, blocks), name=f"stage-c{ci}")
+                )
+            if tasks:
+                yield sim.all_of([t.join() for t in tasks])
+            yield from lead.execute(iteration)
+            yield from lead.deactivate(iteration)
+        except BaseException as err:
+            sim.trace.end(span, error=type(err).__name__)
+            raise
+        sim.trace.end(span, n_servers=len(frozen))
         return len(frozen)
 
     @staticmethod
@@ -202,28 +240,22 @@ class ColzaExperiment:
     def run_iteration(
         self, iteration: int, blocks_per_client: Sequence[ClientBlocks]
     ) -> IterationTiming:
-        """Drive one iteration to completion and collect its timings."""
+        """Drive one iteration to completion and derive its timing from
+        the iteration's span subtree."""
+        from repro.telemetry.tree import SpanTree
+
         sim = self.sim
         n_servers = drive(
             sim, self.iteration_body(iteration, blocks_per_client), max_time=100000
         )
-        timing = IterationTiming(
-            iteration=iteration,
-            activate=_last(sim, "colza.activate", iteration),
-            stage_total=sum(sim.trace.durations("colza.stage", iteration=iteration)),
-            stage_mean=_mean(sim.trace.durations("colza.stage", iteration=iteration)),
-            execute=_last(sim, "colza.execute", iteration),
-            deactivate=_last(sim, "colza.deactivate", iteration),
-            n_servers=n_servers,
-        )
+        nodes = [
+            n
+            for n in SpanTree.from_tracer(sim.trace).iterations(self.pipeline_name)
+            if n.finished and n.tags.get("iteration") == iteration
+        ]
+        if nodes:
+            timing = IterationTiming.from_span_tree(nodes[-1])
+        else:  # tracing disabled: keep the pre-telemetry zero timings
+            timing = IterationTiming(iteration, 0.0, 0.0, 0.0, 0.0, 0.0, n_servers)
         self.timings.append(timing)
         return timing
-
-
-def _last(sim: Simulation, name: str, iteration: int) -> float:
-    durations = sim.trace.durations(name, iteration=iteration)
-    return durations[-1] if durations else 0.0
-
-
-def _mean(durations: List[float]) -> float:
-    return sum(durations) / len(durations) if durations else 0.0

@@ -358,17 +358,29 @@ class DistributedPipelineHandle:
         """activate → stage → execute → deactivate, retrying the whole
         iteration if a staging server dies mid-flight (the paper's
         future-work fault tolerance, built from the existing pieces)."""
+        sim = self.margo.sim
+        core = sim.metrics.scope("core")
         last_error: Optional[Exception] = None
-        for _ in range(max_attempts):
+        for attempt in range(max_attempts):
+            span = sim.trace.begin(
+                "colza.iteration",
+                pipeline=self.name,
+                iteration=iteration,
+                attempt=attempt,
+            )
             try:
                 view = yield from self.activate(iteration)
                 for block_id, payload in blocks:
                     yield from self.stage(iteration, block_id, payload)
                 yield from self.execute(iteration)
                 yield from self.deactivate(iteration)
+                sim.trace.end(span, outcome="ok")
+                core.counter("iterations_completed").inc()
                 return view
             except RpcError as err:
                 last_error = err
+                sim.trace.end(span, outcome="retry", error=type(err).__name__)
+                core.counter("iteration_retries").inc()
                 yield from self.abort(iteration)
                 yield self.margo.sim.timeout(1.0)
                 try:

@@ -86,20 +86,26 @@ class AutoScaler:
         Returns the decision. Generator — growing/shrinking consumes
         simulated time (srun, joins, leave RPCs).
         """
+        sim = self.experiment.sim
+        core = sim.metrics.scope("core")
         n_servers = len(self.experiment.deployment.live_daemons())
+        core.gauge("staging_servers").set(n_servers)
         decision = self.policy.observe(execute_seconds, n_servers)
         self.decisions.append(decision)
         if decision.action == "grow":
+            core.counter("scale_grow").inc()
             yield from self.experiment.add_servers_with_pipeline(
                 decision.amount, node_index=self.next_node
             )
             self.next_node += 1
         elif decision.action == "shrink":
+            core.counter("scale_shrink").inc()
             victim = max(
                 self.experiment.deployment.live_daemons(), key=lambda d: d.address
             )
             admin = ColzaAdmin(self.experiment.client_margos[0])
             yield from admin.request_leave(victim.address)
+        core.gauge("staging_servers").set(len(self.experiment.deployment.live_daemons()))
         return decision
 
     def step_from_trace(self) -> Generator:

@@ -158,6 +158,7 @@ class ColzaProvider(Provider):
         self._active[key] = next(self._epochs)
         pipeline = self.pipelines[name]
         yield from pipeline.activate(iteration, list(view))
+        self.margo.sim.metrics.scope("core").counter("activations_committed").inc()
         return "activated"
 
     def _rpc_activate_abort(self, input: dict) -> Generator:
@@ -191,6 +192,9 @@ class ColzaProvider(Provider):
         )
         pipeline = self.pipelines[name]
         yield from pipeline.stage(iteration, block)
+        core = self.margo.sim.metrics.scope("core")
+        core.counter("blocks_staged").inc()
+        core.counter("bytes_staged").inc(handle.nbytes)
         return "staged"
 
     def _rpc_execute(self, input: dict) -> Generator:
@@ -200,6 +204,7 @@ class ColzaProvider(Provider):
             raise RuntimeError(f"execute for inactive iteration {iteration} of {name!r}")
         pipeline = self.pipelines[name]
         yield from pipeline.execute(iteration)
+        self.margo.sim.metrics.scope("core").counter("executes").inc()
         return "executed"
 
     def _rpc_deactivate(self, input: dict) -> Generator:

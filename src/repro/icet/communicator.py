@@ -28,6 +28,12 @@ class IceTCommunicator:
     def size(self) -> int:
         return self.comm.size
 
+    @property
+    def sim(self):
+        """The owning simulation (both transports expose it via
+        ``comm.instance.sim``); used by the compositing spans."""
+        return self.comm.instance.sim
+
     def send(self, dest: int, payload: Any, tag: Any = 0) -> Generator:
         return (yield from self.comm.send(dest, payload, tag))
 

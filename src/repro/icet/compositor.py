@@ -17,6 +17,7 @@ stage of parallel rendering (paper §III-C2).
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Generator, List, Optional, Tuple
 
 import numpy as np
@@ -27,6 +28,30 @@ from repro.vtk.render.image import CompositeImage, combine_over, combine_zbuffer
 __all__ = ["binary_swap", "reduce_to_root"]
 
 Combine = Callable[[CompositeImage, CompositeImage], CompositeImage]
+
+
+def _traced(strategy: str):
+    """Wrap a compositing strategy in an ``icet.<strategy>`` span."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(icomm: IceTCommunicator, *args, **kwargs) -> Generator:
+            sim = icomm.sim
+            span = sim.trace.begin(
+                f"icet.{strategy}", kind=icomm.kind, rank=icomm.rank, size=icomm.size
+            )
+            try:
+                result = yield from fn(icomm, *args, **kwargs)
+            except BaseException as err:
+                sim.trace.end(span, error=type(err).__name__)
+                raise
+            sim.trace.end(span)
+            sim.metrics.scope("icet").counter("composites").inc()
+            return result
+
+        return wrapper
+
+    return decorate
 
 
 def _combiner(op: str) -> Combine:
@@ -42,6 +67,7 @@ def _combiner(op: str) -> Combine:
     raise ValueError(f"unknown composite op {op!r} (zbuffer|over)")
 
 
+@_traced("reduce_to_root")
 def reduce_to_root(
     icomm: IceTCommunicator,
     image: CompositeImage,
@@ -65,6 +91,7 @@ def reduce_to_root(
     return result
 
 
+@_traced("binary_swap")
 def binary_swap(
     icomm: IceTCommunicator,
     image: CompositeImage,

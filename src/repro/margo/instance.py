@@ -136,7 +136,13 @@ class MargoInstance:
         factor = self.sim.intercept("margo.compute", self.name)
         if factor is not None:
             seconds *= float(factor)
-        return (yield from self.xstream.compute(seconds))
+        span = self.sim.trace.begin("margo.compute", instance=self.name, seconds=seconds)
+        result = yield from self.xstream.compute(seconds)
+        self.sim.trace.end(span)
+        self.sim.metrics.scope("margo").histogram("compute_seconds").observe(
+            span.duration if span.recorded else seconds
+        )
+        return result
 
     # lifecycle --------------------------------------------------------------
     def _attach_provider(self, provider: Provider) -> None:

@@ -53,6 +53,11 @@ class RpcRequest:
     input: Any
     reply_to: Address
     reply_tag: str
+    #: Caller's current span id — the distributed trace context. The
+    #: handler's spans nest under it, so one iteration's tree crosses
+    #: the client/server boundary. Not counted against wire size (a
+    #: real tracer packs this into the 64-byte header).
+    trace_parent: Optional[int] = None
 
 
 # Handler: generator function (instance, input) -> output.
@@ -123,26 +128,38 @@ class MercuryInstance:
         """
         if self._finalized:
             raise RpcError(f"forward on finalized instance {self.name}")
-        reply_tag = f"reply-{self.name}-{next(self._reply_seq)}"
-        request = RpcRequest(rpc_name, input, self.endpoint.address, reply_tag)
-        body = RPC_HEADER_BYTES + (payload_nbytes(input) if nbytes is None else int(nbytes))
-        self.endpoint.send(dest, request, tag=_RPC_TAG, nbytes=body)
+        span = self.sim.trace.begin("hg.forward", rpc=rpc_name, dest=dest)
+        try:
+            reply_tag = f"reply-{self.name}-{next(self._reply_seq)}"
+            request = RpcRequest(
+                rpc_name,
+                input,
+                self.endpoint.address,
+                reply_tag,
+                trace_parent=span.id if span.recorded else None,
+            )
+            body = RPC_HEADER_BYTES + (payload_nbytes(input) if nbytes is None else int(nbytes))
+            self.endpoint.send(dest, request, tag=_RPC_TAG, nbytes=body)
 
-        rx = self.endpoint.recv(tag=reply_tag)
-        if timeout is None:
-            msg: Message = yield rx
-        else:
-            idx, value = yield AnyOf(self.sim, [rx, self.sim.timeout(timeout)])
-            if idx == 1:
-                self.endpoint.cancel_recv(rx)
-                raise RpcTimeout(f"rpc {rpc_name!r} to {dest} timed out after {timeout}s")
-            msg = value
-        status, payload = msg.payload
-        if status == "ok":
-            return payload
-        if status == "unknown":
-            raise RpcUnknown(f"rpc {rpc_name!r} not registered at {dest}")
-        raise RpcError(f"rpc {rpc_name!r} at {dest} failed: {payload}")
+            rx = self.endpoint.recv(tag=reply_tag)
+            if timeout is None:
+                msg: Message = yield rx
+            else:
+                idx, value = yield AnyOf(self.sim, [rx, self.sim.timeout(timeout)])
+                if idx == 1:
+                    self.endpoint.cancel_recv(rx)
+                    raise RpcTimeout(f"rpc {rpc_name!r} to {dest} timed out after {timeout}s")
+                msg = value
+            status, payload = msg.payload
+            if status == "ok":
+                self.sim.trace.end(span, status="ok")
+                return payload
+            if status == "unknown":
+                raise RpcUnknown(f"rpc {rpc_name!r} not registered at {dest}")
+            raise RpcError(f"rpc {rpc_name!r} at {dest} failed: {payload}")
+        except BaseException as err:
+            self.sim.trace.end(span, error=type(err).__name__)
+            raise
 
     # ------------------------------------------------------------------
     # bulk
@@ -206,16 +223,27 @@ class MercuryInstance:
         if self.sim.intercept("hg.handler", self.name, request.name) == "hang":
             yield Event(self.sim, name=f"{self.name}.chaos-hang")
             return
+        # Server half of the distributed trace: nest under the caller's
+        # forward span carried in the request.
+        span = self.sim.trace.begin(
+            "hg.handler", rpc=request.name, parent=request.trace_parent
+        )
         handler = self._handlers.get(request.name)
         if handler is None:
-            yield self._respond(request, ("unknown", request.name))
+            ev = self._respond(request, ("unknown", request.name))
+            self.sim.trace.end(span, status="unknown")
+            yield ev
             return
         try:
             output = yield from handler(self, request.input)
         except Exception as err:  # noqa: BLE001 - errors cross the wire
-            yield self._respond(request, ("err", repr(err)))
+            ev = self._respond(request, ("err", repr(err)))
+            self.sim.trace.end(span, status="err", error=type(err).__name__)
+            yield ev
             return
-        yield self._respond(request, ("ok", output))
+        ev = self._respond(request, ("ok", output))
+        self.sim.trace.end(span, status="ok")
+        yield ev
 
     def _respond(self, request: RpcRequest, wire: tuple) -> Event:
         size = RPC_HEADER_BYTES + payload_nbytes(wire[1])

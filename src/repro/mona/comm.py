@@ -28,6 +28,7 @@ same order) make the counters agree without negotiation.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import math
 from typing import Any, Generator, Hashable, List, Optional, Sequence
@@ -42,6 +43,38 @@ __all__ = ["MonaComm", "REDUCE_BYTES_PER_SEC"]
 
 #: Local combine throughput for reductions (bytes/second).
 REDUCE_BYTES_PER_SEC = 3.0e9
+
+
+def _traced(op: str):
+    """Wrap a collective generator method in a ``mona.<op>`` span.
+
+    Only the public entry points are decorated — internal helpers and
+    collectives composed of other collectives (allreduce = reduce +
+    bcast) produce nested spans naturally.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self: "MonaComm", *args: Any, **kwargs: Any) -> Generator:
+            sim = self.instance.sim
+            span = sim.trace.begin(
+                f"mona.{op}", comm=self.comm_id, rank=self.rank, size=self.size
+            )
+            try:
+                result = yield from fn(self, *args, **kwargs)
+            except BaseException as err:
+                sim.trace.end(span, error=type(err).__name__)
+                raise
+            sim.trace.end(span)
+            scope = sim.metrics.scope("mona")
+            scope.counter("collectives").inc()
+            if span.recorded:
+                scope.histogram("collective_seconds").observe(span.duration)
+            return result
+
+        return wrapper
+
+    return decorate
 
 
 class MonaComm:
@@ -128,6 +161,7 @@ class MonaComm:
 
     # ------------------------------------------------------------------
     # collectives
+    @_traced("barrier")
     def barrier(self) -> Generator:
         """Dissemination barrier: ceil(log2 P) rounds."""
         seq = next(self._coll_seq)
@@ -142,6 +176,7 @@ class MonaComm:
             yield self._overhead()
         return None
 
+    @_traced("bcast")
     def bcast(self, payload: Any, root: int = 0, algorithm: str = "binomial") -> Generator:
         """Broadcast; returns the payload on every rank.
 
@@ -179,6 +214,7 @@ class MonaComm:
             mask >>= 1
         return payload
 
+    @_traced("reduce")
     def reduce(
         self, payload: Any, op: ReduceOp = SUM, root: int = 0, algorithm: str = "binary"
     ) -> Generator:
@@ -237,6 +273,7 @@ class MonaComm:
             mask <<= 1
         return accum
 
+    @_traced("allreduce")
     def allreduce(self, payload: Any, op: ReduceOp = SUM, algorithm: str = "reduce_bcast") -> Generator:
         """Allreduce.
 
@@ -359,6 +396,7 @@ class MonaComm:
 
         return np.concatenate(segments).reshape(payload.shape)
 
+    @_traced("gather")
     def gather(self, payload: Any, root: int = 0) -> Generator:
         """Binomial-tree gather; root returns the rank-ordered list."""
         seq = next(self._coll_seq)
@@ -378,6 +416,7 @@ class MonaComm:
             mask <<= 1
         return [bucket[r] for r in range(self.size)]
 
+    @_traced("scatter")
     def scatter(self, payloads: Optional[Sequence[Any]], root: int = 0) -> Generator:
         """Binomial-tree scatter; every rank returns its element of the
         root's ``payloads`` list."""
@@ -418,6 +457,7 @@ class MonaComm:
             mask >>= 1
         return bucket[rel]
 
+    @_traced("allgather")
     def allgather(self, payload: Any) -> Generator:
         """Ring allgather: P-1 steps, each forwarding one block."""
         seq = next(self._coll_seq)
@@ -435,6 +475,7 @@ class MonaComm:
             blocks[recv_idx] = msg.payload
         return blocks
 
+    @_traced("alltoall")
     def alltoall(self, payloads: Sequence[Any]) -> Generator:
         """Pairwise-exchange alltoall (P-1 sendrecv rounds)."""
         if len(payloads) != self.size:

@@ -225,8 +225,12 @@ class MpiComm:
     # collectives (engine-rendezvous + calibrated vendor time)
     def _collective(self, kind: str, payload: Any = None, extra: Any = None) -> Generator:
         seq = next(self._seq)
+        span = self.sim.trace.begin(
+            f"mpi.{kind}", comm=self.comm_id, rank=self.rank, size=self.size
+        )
         ev = self.group.arrive(seq, self.rank, kind, payload, extra)
         result = yield from self._xstream.spin_wait(ev)
+        self.sim.trace.end(span)
         return result
 
     def barrier(self) -> Generator:

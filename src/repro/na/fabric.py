@@ -160,6 +160,12 @@ class Fabric:
         #: Counters: total messages / bytes moved (for reports).
         self.messages_sent = 0
         self.bytes_sent = 0
+        self._metrics = sim.metrics.scope("na")
+        self._m_messages = self._metrics.counter("messages_sent")
+        self._m_bytes = self._metrics.counter("bytes_sent")
+        self._m_dropped = self._metrics.counter("messages_dropped")
+        self._m_transit = self._metrics.histogram("send_transit_seconds")
+        self._m_rdma = self._metrics.histogram("rdma_seconds")
 
     # ------------------------------------------------------------------
     # registration
@@ -227,6 +233,9 @@ class Fabric:
 
         self.messages_sent += 1
         self.bytes_sent += size
+        self._m_messages.inc()
+        self._m_bytes.inc(size)
+        self._m_transit.observe(arrive - self.sim.now)
 
         done = Event(self.sim, name=f"send->{dest}")
         msg = Message(
@@ -240,12 +249,21 @@ class Fabric:
         )
 
         dropped = action is not None and action.drop
+        # Async span: begin here in the sender's context (so it nests
+        # under the collective/RPC driving it), end at delivery time.
+        span = self.sim.trace.begin_async(
+            "na.send", src=src.address, dest=dest, nbytes=size
+        )
 
         def arrive_cb() -> None:
             target = self._endpoints.get(dest)
-            if not dropped and target is not None and target.alive:
+            delivered = not dropped and target is not None and target.alive
+            if delivered:
                 target._mailbox.deliver(msg)
+            else:
+                self._m_dropped.inc()
             # Dropped silently if the endpoint died in flight.
+            self.sim.trace.end(span, dropped=not delivered)
             done.succeed(msg)
 
         self.sim._schedule_at(arrive, arrive_cb)
@@ -283,7 +301,8 @@ class Fabric:
         if factor is not None:
             cost *= float(factor)
         self.bytes_sent += handle.nbytes
-        return self._bulk_transfer(puller, cost, lambda: handle.payload, "rdma_pull")
+        self._m_bytes.inc(handle.nbytes)
+        return self._bulk_transfer(puller, cost, lambda: handle.payload, "rdma_pull", handle.nbytes)
 
     def rdma_push(self, pusher: Endpoint, handle: MemoryHandle, payload: Any) -> Event:
         """Write ``payload`` into the remote buffer behind ``handle``."""
@@ -295,20 +314,29 @@ class Fabric:
         if factor is not None:
             cost *= float(factor)
         self.bytes_sent += size
+        self._m_bytes.inc(size)
 
         def apply() -> Any:
             handle.payload = payload
             return payload
 
-        return self._bulk_transfer(pusher, cost, apply, "rdma_push")
+        return self._bulk_transfer(pusher, cost, apply, "rdma_push", size)
 
-    def _bulk_transfer(self, initiator: Endpoint, cost: float, finish, name: str) -> Event:
+    def _bulk_transfer(self, initiator: Endpoint, cost: float, finish, name: str, nbytes: int) -> Event:
         done = Event(self.sim, name=name)
         if initiator.quiesced:
             return done  # dead initiator: transfer never completes
 
         def body():
+            # Span covers NIC queueing + the transfer itself; the body
+            # task inherits the caller's span (e.g. colza.stage) as its
+            # ambient parent at spawn time.
+            span = self.sim.trace.begin(
+                "na.rdma", op=name, initiator=initiator.address, nbytes=nbytes
+            )
             yield from initiator._nic.use(cost)
+            self.sim.trace.end(span)
+            self._m_rdma.observe(span.end - span.start if span.recorded else cost)
             done.succeed(finish())
 
         self.sim.spawn(body(), name=name)

@@ -226,7 +226,10 @@ class Task:
     ``task.done`` directly).
     """
 
-    __slots__ = ("sim", "name", "gen", "done", "_waiting_on", "_resume_cb")
+    __slots__ = (
+        "sim", "name", "gen", "done", "_waiting_on", "_resume_cb",
+        "trace_parent", "trace_stack",
+    )
 
     def __init__(self, sim: "Simulation", gen: Coroutine, name: str = ""):
         self.sim = sim
@@ -236,6 +239,10 @@ class Task:
         self.done = Event(sim, name=f"{self.name}.done")
         self._waiting_on: Optional[Event] = None
         self._resume_cb: Optional[Callable[[Event], None]] = None
+        #: Ambient parent span inherited from the spawning context and
+        #: this task's own span stack (see repro.sim.trace.Tracer).
+        self.trace_parent: Optional[Any] = None
+        self.trace_stack: Optional[list] = None
 
     # ------------------------------------------------------------------
     @property
@@ -359,6 +366,9 @@ class Simulation:
         from repro.sim.trace import Tracer
 
         self.trace = Tracer(self)
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     @property
@@ -435,6 +445,7 @@ class Simulation:
     def spawn(self, gen: Coroutine, name: str = "") -> Task:
         """Create a task from a generator and schedule its first step."""
         task = Task(self, gen, name)
+        self.trace.inherit(task)
         self.tasks.append(task)
         self._schedule_call(task._start)
         return task
@@ -444,6 +455,7 @@ class Simulation:
         if when < self._now:
             raise ValueError(f"spawn_at({when}) is in the past (now={self._now})")
         task = Task(self, gen, name)
+        self.trace.inherit(task)
         self.tasks.append(task)
         self._schedule_at(when, task._start)
         return task

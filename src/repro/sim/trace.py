@@ -1,16 +1,38 @@
-"""Lightweight span/counter tracing for experiments.
+"""Hierarchical span/counter tracing for experiments.
 
-The benchmark harness reads per-call durations (e.g. Fig. 9's
-``activate``/``stage``/``execute``/``deactivate`` breakdown) from the
-tracer rather than instrumenting call sites ad hoc.
+Spans form a *tree*: parentage is recorded at begin time —
+
+- within a task, via a per-task span stack (``begin`` pushes, ``end``
+  pops), so ``colza.execute`` contains the collective spans it drives;
+- across tasks, via spawn inheritance: a task spawned while a span is
+  open adopts that span as its ambient parent
+  (:meth:`Tracer.inherit`), so concurrent ``stage`` tasks still hang
+  off their iteration span;
+- across processes, via the RPC trace context: Mercury forwards the
+  caller's current span id on the wire and the handler's spans nest
+  under it — distributed tracing, one simulated machine at a time.
+
+Async operations whose begin and end live in different execution
+contexts (message transits, RDMA) use :meth:`Tracer.begin_async`: the
+span records its parent but never becomes anyone's "current" span.
+
+The benchmark harness derives per-iteration timings
+(:class:`repro.bench.harness.IterationTiming`) from the span tree via
+:class:`repro.telemetry.tree.SpanTree` rather than scraping flat span
+lists; :mod:`repro.telemetry.export` turns the same tree into Chrome
+``trace_event`` JSON.
+
+Disabled tracing (``tracer.enabled = False``) is a true no-op: spans
+begun while disabled are never recorded, and ending them neither
+mutates them nor fires ``on_end`` callbacks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "Tracer", "canonical_tags"]
 
 
 @dataclass
@@ -21,6 +43,17 @@ class Span:
     start: float
     end: Optional[float] = None
     tags: Dict[str, Any] = field(default_factory=dict)
+    #: Creation-ordered unique id (-1 for unrecorded spans).
+    id: int = -1
+    #: Parent span id (None for roots).
+    parent: Optional[int] = None
+    #: Name of the task that opened the span ("" outside task context).
+    task: str = ""
+    #: Async spans never sit on a span stack (see Tracer.begin_async).
+    detached: bool = False
+    #: False when begun while tracing was disabled: the span was dropped
+    #: at begin time and end() must treat it as a no-op.
+    recorded: bool = True
 
     @property
     def duration(self) -> float:
@@ -29,8 +62,65 @@ class Span:
         return self.end - self.start
 
 
+class _SpanContext:
+    """``with tracer.span("name"):`` — begin/end with exception tagging."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_parent", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, parent, tags: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self._parent = parent
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.begin(self._name, parent=self._parent, **self._tags)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._tracer.end(self.span)
+        else:
+            self._tracer.end(self.span, error=exc_type.__name__)
+        return None
+
+
+def canonical_tags(tags: Dict[str, Any]) -> Dict[str, Any]:
+    """Deterministically JSON-serializable copy of ``tags`` (or raise).
+
+    Accepted: JSON primitives, lists/tuples/dicts thereof, numpy
+    scalars (converted), and objects with a ``uri`` attribute
+    (addresses — rendered via ``str``). Anything else raises
+    ``TypeError``: default ``repr`` carries memory addresses, which
+    would silently break digest stability.
+    """
+    return {str(k): _canonical(v) for k, v in tags.items()}
+
+
+def _canonical(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if hasattr(value, "uri"):  # Address-like: stable string form
+        return str(value)
+    # Numpy scalars (duck-typed to avoid a hard numpy dependency here).
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return _canonical(value.item())
+    raise TypeError(
+        f"span tag value {value!r} ({type(value).__name__}) is not "
+        "deterministically serializable; pass a JSON primitive or str() it"
+    )
+
+
 class Tracer:
-    """Collects spans and counters against the simulated clock."""
+    """Collects a span tree and counters against the simulated clock."""
 
     def __init__(self, sim: "Any"):
         self._sim = sim
@@ -41,22 +131,121 @@ class Tracer:
         #: monitors, live dashboards). Exceptions propagate — a checker
         #: failing is a test failure, not something to swallow.
         self.on_end: List[Any] = []
+        self._ids = 0
+        #: Span stack for code running outside any task.
+        self._root_stack: List[Span] = []
 
     # ------------------------------------------------------------------
-    def begin(self, name: str, **tags: Any) -> Span:
-        """Open a span at the current simulated time."""
-        span = Span(name=name, start=self._sim.now, tags=dict(tags))
-        if self.enabled:
-            self.spans.append(span)
+    # context plumbing
+    def _stack(self, create: bool = False) -> Optional[List[Span]]:
+        task = self._sim.current_task
+        if task is None:
+            return self._root_stack
+        stack = task.trace_stack
+        if stack is None and create:
+            stack = task.trace_stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the current execution context."""
+        task = self._sim.current_task
+        if task is None:
+            return self._root_stack[-1] if self._root_stack else None
+        if task.trace_stack:
+            return task.trace_stack[-1]
+        return task.trace_parent
+
+    def inherit(self, task: "Any") -> None:
+        """Adopt the current span as ``task``'s ambient parent (called
+        by :meth:`Simulation.spawn` for every new task)."""
+        task.trace_parent = self.current_span()
+
+    def _resolve_parent(self, parent: Union[Span, int, None]) -> Optional[int]:
+        if parent is None:
+            current = self.current_span()
+            return current.id if current is not None else None
+        if isinstance(parent, Span):
+            return parent.id if parent.recorded else None
+        return int(parent)
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, parent: Union[Span, int, None] = None, **tags: Any) -> Span:
+        """Open a span at the current simulated time.
+
+        Parentage defaults to the current context (span stack, then the
+        task's spawn-inherited parent); pass ``parent`` (a span or span
+        id, e.g. an RPC trace context) to override.
+        """
+        if not self.enabled:
+            return Span(name=name, start=self._sim.now, tags=dict(tags), recorded=False)
+        span = self._make_span(name, parent, tags, detached=False)
+        self._stack(create=True).append(span)
+        return span
+
+    def begin_async(self, name: str, parent: Union[Span, int, None] = None, **tags: Any) -> Span:
+        """Open a span that never becomes the current span.
+
+        For operations whose end lives in another execution context
+        (message transit, RDMA completion): the span records its parent
+        for the tree but later ``begin`` calls will not nest under it.
+        """
+        if not self.enabled:
+            return Span(
+                name=name, start=self._sim.now, tags=dict(tags),
+                detached=True, recorded=False,
+            )
+        return self._make_span(name, parent, tags, detached=True)
+
+    def _make_span(self, name: str, parent, tags: Dict[str, Any], detached: bool) -> Span:
+        task = self._sim.current_task
+        span = Span(
+            name=name,
+            start=self._sim.now,
+            tags=dict(tags),
+            id=self._ids,
+            parent=self._resolve_parent(parent),
+            task=task.name if task is not None else "",
+            detached=detached,
+        )
+        self._ids += 1
+        self.spans.append(span)
         return span
 
     def end(self, span: Span, **tags: Any) -> Span:
-        """Close a span at the current simulated time."""
+        """Close a span at the current simulated time.
+
+        No-op for unrecorded spans (begun while disabled) and for spans
+        already ended — disabled tracing and double-ends must not
+        mutate state or fire callbacks.
+        """
+        if not span.recorded or span.end is not None:
+            return span
         span.end = self._sim.now
         span.tags.update(tags)
+        if not span.detached:
+            self._unwind(span)
         for cb in self.on_end:
             cb(span)
         return span
+
+    def _unwind(self, span: Span) -> None:
+        """Pop ``span`` (and any unfinished children above it) from the
+        stack it lives on. Ending out of task context (e.g. from an
+        event callback) may miss the stack; search both."""
+        task = self._sim.current_task
+        stacks = []
+        if task is not None and task.trace_stack:
+            stacks.append(task.trace_stack)
+        stacks.append(self._root_stack)
+        for stack in stacks:
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is span:
+                    del stack[i:]
+                    return
+
+    def span(self, name: str, parent: Union[Span, int, None] = None, **tags: Any) -> _SpanContext:
+        """Context manager: ``with trace.span("phase") as s: ...``."""
+        return _SpanContext(self, name, parent, tags)
 
     def add(self, counter: str, amount: float = 1.0) -> None:
         """Increment a named counter."""
@@ -76,60 +265,89 @@ class Tracer:
         """Durations of all matching finished spans."""
         return [s.duration for s in self.find(name, **tags)]
 
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct children of ``span``, in creation order."""
+        return [s for s in self.spans if s.parent == span.id]
+
     def clear(self) -> None:
         self.spans.clear()
         self.counters.clear()
+        self._root_stack.clear()
 
     # ------------------------------------------------------------------
     # export / summaries
     def to_records(self) -> List[Dict[str, Any]]:
-        """Finished spans as plain dicts (JSON-serializable tags only
-        if the caller kept them so)."""
+        """Finished spans as deterministic plain dicts (see
+        :func:`canonical_tags` for the tag contract)."""
         return [
-            {"name": s.name, "start": s.start, "end": s.end, "tags": dict(s.tags)}
+            {
+                "id": s.id,
+                "parent": s.parent,
+                "name": s.name,
+                "task": s.task,
+                "start": s.start,
+                "end": s.end,
+                "tags": canonical_tags(s.tags),
+            }
             for s in self.spans
             if s.end is not None
         ]
 
     def to_json(self, path: str) -> str:
-        """Write finished spans + counters to a JSON file."""
+        """Write finished spans + counters to a JSON file.
+
+        Serialization is strict: a non-canonical tag raises instead of
+        degrading to ``repr`` (which would embed memory addresses and
+        break replay diffing).
+        """
         import json
 
         payload = {"spans": self.to_records(), "counters": dict(self.counters)}
         with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2, default=str)
+            json.dump(payload, fh, indent=2)
         return path
 
     def digest(self) -> str:
         """Stable SHA-256 over all finished spans and counters.
 
-        Canonicalization: spans in creation order, tags sorted by key
-        and rendered through ``str`` for non-JSON values, floats via
-        their shortest round-trip repr. Two runs of the same seeded
-        program produce byte-identical digests — the determinism oracle
-        of the chaos suite (same seed ⇒ same digest).
+        Canonicalization: spans in creation order with ids/parentage,
+        tags via :func:`canonical_tags`, keys sorted, floats via their
+        shortest round-trip repr. Two runs of the same seeded program
+        produce byte-identical digests — the determinism oracle of the
+        chaos suite (same seed ⇒ same digest).
         """
         import hashlib
         import json
 
-        records = self.to_records()
         payload = json.dumps(
-            {"spans": records, "counters": self.counters},
+            {"spans": self.to_records(), "counters": self.counters},
             sort_keys=True,
-            default=str,
             separators=(",", ":"),
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-span-name aggregate: count, total and mean duration."""
-        agg: Dict[str, Dict[str, float]] = {}
+        """Per-span-name aggregates: count, total, mean, min, max,
+        p50 and p99 (quantiles via the deterministic sketch)."""
+        from repro.telemetry.sketch import QuantileSketch
+
+        sketches: Dict[str, QuantileSketch] = {}
         for span in self.spans:
             if span.end is None:
                 continue
-            entry = agg.setdefault(span.name, {"count": 0, "total": 0.0})
-            entry["count"] += 1
-            entry["total"] += span.duration
-        for entry in agg.values():
-            entry["mean"] = entry["total"] / entry["count"]
+            sketch = sketches.get(span.name)
+            if sketch is None:
+                sketch = sketches[span.name] = QuantileSketch()
+            sketch.add(span.duration)
+        agg: Dict[str, Dict[str, float]] = {}
+        for name, sketch in sketches.items():
+            agg[name] = {
+                "count": sketch.count,
+                "total": sketch.total,
+                "mean": sketch.total / sketch.count,
+                "min": sketch.min,
+                "max": sketch.max,
+                "p50": sketch.quantile(0.50),
+                "p99": sketch.quantile(0.99),
+            }
         return agg

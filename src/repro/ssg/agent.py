@@ -111,6 +111,7 @@ class SSGAgent(Provider):
             pass
 
     def _notify(self, event: str, member: Address) -> None:
+        self.margo.sim.metrics.scope("ssg").counter(f"members_{event}").inc()
         if self.observer is not None:
             self.observer(event, member)
         for extra in self._extra_observers:
@@ -209,17 +210,22 @@ class SSGAgent(Provider):
         # suspicion explicitly, even after the rumor's retransmission
         # budget is spent — a reachable suspect must always get the
         # chance to refute before the suspicion timer expires.
+        sim = self.margo.sim
+        sim.metrics.scope("ssg").counter("probes").inc()
+        span = sim.trace.begin("ssg.probe", prober=self.address, target=target)
         extra = None
         if self.view.status_of(target) is Status.SUSPECT:
             extra = [Update(Status.SUSPECT, target, self.view.incarnation_of(target))]
         try:
             yield from self._send_ping(target, extra=extra)
+            sim.trace.end(span, outcome="ack")
             return
         except (RpcTimeout, RpcError):
             pass
         acked = yield from self._indirect_probe(target)
         if not acked:
             self._suspect(target)
+        sim.trace.end(span, outcome="indirect_ack" if acked else "suspect")
 
     def _send_ping(self, target: Address, extra: Optional[List[Update]] = None) -> Generator:
         # Fault injection point: suppressed gossip looks exactly like a
@@ -285,6 +291,7 @@ class SSGAgent(Provider):
         inc = self.view.incarnation_of(target)
         update = Update(Status.SUSPECT, target, inc)
         if self._apply_and_notify(update):
+            self.margo.sim.metrics.scope("ssg").counter("suspicions").inc()
             self._queue_update(update)
             self.margo.sim.spawn(
                 self._suspicion_timer(target, inc), name=f"suspicion@{self.address}"

@@ -81,10 +81,15 @@ def test_trace_to_records_and_summary():
     records = sim.trace.to_records()
     assert len(records) == 3
     assert records[0]["tags"] == {"i": 0}
+    assert records[0]["id"] == 0 and records[0]["parent"] is None
     summary = sim.trace.summary()
     assert summary["step"]["count"] == 3
     assert summary["step"]["total"] == pytest.approx(6.0)
     assert summary["step"]["mean"] == pytest.approx(2.0)
+    assert summary["step"]["min"] == pytest.approx(2.0)
+    assert summary["step"]["max"] == pytest.approx(2.0)
+    assert summary["step"]["p50"] == pytest.approx(2.0, rel=0.01)
+    assert summary["step"]["p99"] == pytest.approx(2.0, rel=0.01)
     assert "unfinished" not in summary
 
 
@@ -99,3 +104,35 @@ def test_trace_to_json(tmp_path):
     assert data["spans"][0]["name"] == "io"
     assert data["spans"][0]["end"] == 1.5
     assert data["counters"]["bytes"] == 42
+
+
+def test_trace_to_json_rejects_non_canonical_tags(tmp_path):
+    # Strict serialization: no default=str fallback smuggling reprs
+    # (and their memory addresses) into replay artifacts.
+    sim = Simulation()
+    sim.trace.end(sim.trace.begin("io", handle=object()))
+    with pytest.raises(TypeError):
+        sim.trace.to_json(str(tmp_path / "trace.json"))
+
+
+def test_cli_report(capsys, tmp_path):
+    chrome = tmp_path / "trace.json"
+    assert main([
+        "report", "--servers", "2", "--clients", "2", "--iterations", "1",
+        "--chrome", str(chrome),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry report" in out
+    assert "critical path per iteration" in out
+    assert "colza.iteration" in out
+    data = json.loads(chrome.read_text())
+    assert {"traceEvents", "displayTimeUnit", "otherData"} <= set(data)
+
+
+def test_cli_report_json(capsys):
+    assert main(["report", "--servers", "2", "--clients", "2",
+                 "--iterations", "1", "--controller", "mpi", "--json"]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out[out.index("{"):])
+    assert report["iterations"][0]["iteration"] == 1
+    assert report["metrics"]["core.executes"]["value"] >= 1
