@@ -1,6 +1,6 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test chaos bench examples results clean
+.PHONY: install test chaos lint fuzz bench examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,12 @@ test:
 
 chaos:
 	pytest tests/chaos/ -q
+
+lint:
+	PYTHONPATH=src python -m repro.analysis lint src
+
+fuzz:
+	PYTHONPATH=src python -m repro.analysis fuzz -n 5
 
 bench:
 	pytest benchmarks/ --benchmark-only

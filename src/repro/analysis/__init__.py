@@ -1,0 +1,59 @@
+"""Determinism analysis toolchain (DESIGN §9).
+
+Three cooperating tools turn the kernel's determinism claim from
+convention into something enforced:
+
+- :mod:`repro.analysis.detlint` — an AST linter (stdlib ``ast`` only)
+  whose rules target the ways this codebase could silently lose
+  bit-identical replay: wall-clock reads, global RNG state, unordered
+  iteration feeding the scheduler, ``id()``/``hash()`` ordering,
+  mutable defaults in task coroutines, interrupt-swallowing excepts,
+  and order-sensitive float accumulation.
+- :mod:`repro.analysis.simtsan` — a runtime yield-point race detector
+  for state shared across cooperative tasks (SSG views, the provider's
+  pipeline table, 2PC activation state).
+- :mod:`repro.analysis.fuzz` — a schedule-perturbation fuzzer that
+  re-runs scenarios under seeded permutations of same-timestamp
+  tie-breaking and diffs invariant-level digests.
+
+CLI: ``python -m repro.analysis lint`` / ``python -m repro.analysis
+fuzz`` (see ``--help`` on each).
+"""
+
+from repro.analysis.detlint import Finding, LintReport, run_lint
+from repro.analysis.simtsan import RaceReport, Shared, SimTSan, tracked, untracked
+
+#: Lazy re-exports from repro.analysis.fuzz: the fuzz harness imports
+#: the chaos stack, which itself imports repro.analysis.simtsan — an
+#: eager import here would close that cycle mid-initialization.
+_FUZZ_EXPORTS = (
+    "FUZZ_SCENARIOS",
+    "FuzzOutcome",
+    "FuzzReport",
+    "run_fuzz",
+    "run_fuzz_one",
+)
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_EXPORTS:
+        from repro.analysis import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "FUZZ_SCENARIOS",
+    "Finding",
+    "FuzzOutcome",
+    "FuzzReport",
+    "LintReport",
+    "RaceReport",
+    "Shared",
+    "SimTSan",
+    "run_fuzz",
+    "run_fuzz_one",
+    "run_lint",
+    "tracked",
+    "untracked",
+]

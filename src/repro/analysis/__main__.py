@@ -1,0 +1,111 @@
+"""CLI for the analysis toolchain.
+
+::
+
+    python -m repro.analysis lint [paths...] [--json] [--select DET001,DET003]
+    python -m repro.analysis fuzz [--scenario NAME] [--seed N] [-n N | --fuzz-seeds 0,1,2] [--json]
+
+``lint`` exits 1 if any unsuppressed finding remains; ``fuzz`` exits 1
+if any perturbed schedule produces an invariant violation or an
+invariant digest differing from the unperturbed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.detlint import RULES, run_lint
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or [str(Path(__file__).resolve().parents[2])]  # src/
+    select = args.select.split(",") if args.select else None
+    report = run_lint(paths, select=select, root=args.root)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.analysis.fuzz import FUZZ_SCENARIOS, run_fuzz
+
+    if args.list:
+        for name in sorted(FUZZ_SCENARIOS):
+            print(name)
+        return 0
+    fuzz_seeds = (
+        [int(s) for s in args.fuzz_seeds.split(",")] if args.fuzz_seeds else None
+    )
+    exit_code = 0
+    for scenario in args.scenario or sorted(FUZZ_SCENARIOS):
+        report = run_fuzz(scenario, seed=args.seed, fuzz_seeds=fuzz_seeds, n=args.n)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "scenario": report.scenario,
+                        "seed": report.seed,
+                        "ok": report.ok,
+                        "perturbed_schedules": report.perturbed_schedules,
+                        "baseline_invariant_digest": report.baseline.invariant_digest,
+                        "outcomes": [
+                            {
+                                "fuzz_seed": o.fuzz_seed,
+                                "schedule_digest": o.schedule_digest,
+                                "invariant_digest": o.invariant_digest,
+                                "violations": list(o.violations),
+                            }
+                            for o in report.outcomes
+                        ],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(report.render())
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="determinism analysis toolchain (DESIGN §9)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the detlint AST rules")
+    lint.add_argument("paths", nargs="*", help="files/directories (default: src tree)")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--select", help="comma-separated rule ids (default: all %d)" % len(RULES)
+    )
+    lint.add_argument("--root", help="path findings are reported relative to")
+    lint.set_defaults(fn=_cmd_lint)
+
+    fuzz = sub.add_parser("fuzz", help="run the schedule-perturbation fuzzer")
+    fuzz.add_argument(
+        "--scenario",
+        action="append",
+        help="fuzz scenario name (repeatable; default: all). See --list.",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="scenario seed")
+    fuzz.add_argument("-n", type=int, default=5, help="number of fuzz seeds (0..n-1)")
+    fuzz.add_argument("--fuzz-seeds", help="explicit comma-separated fuzz seeds")
+    fuzz.add_argument("--json", action="store_true", help="machine-readable output")
+    fuzz.add_argument("--list", action="store_true", help="list fuzz scenarios")
+    fuzz.set_defaults(fn=_cmd_fuzz)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,626 @@
+"""detlint: an AST linter for determinism hazards (stdlib ``ast`` only).
+
+The kernel's contract — same seed, bit-identical trace — survives only
+as long as no code path consults state the simulation does not own.
+Each rule below targets one way this codebase could silently break
+that contract; the catalog is deliberately tuned to *this* tree rather
+than aspiring to generality:
+
+========  ==========================================================
+DET001    wall-clock reads (``time.time``, ``datetime.now``, ...)
+DET002    global RNG state (``random.*``, ``numpy.random.*``) outside
+          the registry module ``sim/rng.py``
+DET003    iteration over unordered collections (``set``; also
+          ``dict.keys()`` for explicitness) feeding task spawning,
+          event scheduling, message fan-out — or materializing an
+          ordered container (list/dict) from a set
+DET004    ``id()``-based ordering or keying (memory addresses vary
+          across runs)
+DET005    mutable default arguments on task coroutines (state leaks
+          between spawns)
+DET006    bare/``BaseException`` excepts wrapping a yield inside a
+          coroutine without re-raising (swallows ``Interrupt`` /
+          ``Killed`` / ``GeneratorExit`` delivered via ``throw``)
+DET007    builtin ``hash()`` (PYTHONHASHSEED-dependent for str/bytes)
+DET008    order-sensitive float accumulation (``sum``/``reduce``) in
+          the registered reducer modules (``mona/ops.py``,
+          ``icet/compositor.py``)
+========  ==========================================================
+
+Suppression is per-line and requires a reason::
+
+    t0 = time.time()  # detlint: disable=DET001 -- operator-facing wall time
+
+A whole file can opt out of one rule with ``# detlint: disable-file=
+DET00X -- reason`` on any line. A disable comment without a reason
+string does not suppress anything (it is reported as DET000).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Finding", "LintReport", "ModuleInfo", "RULES", "run_lint"]
+
+
+# ---------------------------------------------------------------------------
+# findings and suppression
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def render(self) -> str:
+        tail = f"  [suppressed: {self.reason}]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tail}"
+
+
+_DISABLE_RE = re.compile(
+    r"#\s*detlint:\s*disable(?P<file>-file)?\s*=\s*(?P<rules>[A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.+?))?\s*$"
+)
+
+
+class ModuleInfo:
+    """One parsed module plus its suppression table."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel)
+        #: line -> (rule ids, reason)
+        self.line_disables: Dict[int, Tuple[Set[str], str]] = {}
+        #: rule id -> reason, applying to the whole file
+        self.file_disables: Dict[str, str] = {}
+        #: Malformed suppressions (no reason): reported as DET000.
+        self.bad_disables: List[int] = []
+        for lineno, text in enumerate(self.lines, start=1):
+            if "detlint" not in text:
+                continue
+            match = _DISABLE_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            reason = (match.group("reason") or "").strip()
+            if not reason:
+                self.bad_disables.append(lineno)
+                continue
+            if match.group("file"):
+                for rule in rules:
+                    self.file_disables[rule] = reason
+            else:
+                self.line_disables[lineno] = (rules, reason)
+
+    def suppression_for(self, rule: str, line: int) -> Optional[str]:
+        """The reason ``rule`` is suppressed at ``line``, or None."""
+        if rule in self.file_disables:
+            return self.file_disables[rule]
+        entry = self.line_disables.get(line)
+        if entry and rule in entry[0]:
+            return entry[1]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# rule registry
+RuleFn = Callable[[ModuleInfo], Iterator[Tuple[ast.AST, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    slug: str
+    summary: str
+    fn: RuleFn = field(compare=False)
+
+
+RULES: List[Rule] = []
+
+
+def rule(rule_id: str, slug: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    def register(fn: RuleFn) -> RuleFn:
+        RULES.append(Rule(rule_id, slug, summary, fn))
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _yields_directly(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield/YieldFrom nodes of this scope (not of nested functions)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def is_coroutine_def(fn: ast.FunctionDef) -> bool:
+    """A generator function — the kernel's task/coroutine unit."""
+    return next(_yields_directly(fn), None) is not None
+
+
+def imports_of(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names.add(node.module.split(".")[0])
+    return names
+
+
+# ---------------------------------------------------------------------------
+# DET001 wall-clock
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+
+@rule("DET001", "wall-clock", "wall-clock reads bypass the simulated clock")
+def check_wall_clock(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    for call in iter_calls(mod.tree):
+        name = dotted_name(call.func)
+        if name in _WALL_CLOCK:
+            yield call, (
+                f"wall-clock call {name}() is nondeterministic across runs; "
+                "use sim.now (simulated time) or suppress if operator-facing"
+            )
+
+
+# ---------------------------------------------------------------------------
+# DET002 global RNG
+_RNG_ALLOWED_SUFFIX = ("sim/rng.py",)
+
+
+@rule("DET002", "global-rng", "global RNG state bypasses the seeded RngRegistry")
+def check_global_rng(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    if mod.rel.replace("\\", "/").endswith(_RNG_ALLOWED_SUFFIX):
+        return
+    has_random = "random" in imports_of(mod.tree)
+    for call in iter_calls(mod.tree):
+        name = dotted_name(call.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+        if has_random and len(parts) == 2 and parts[0] == "random":
+            yield call, (
+                f"{name}() draws from the process-global random state; "
+                "use sim.rng.stream(<name>) so replay stays seeded"
+            )
+        elif len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            # default_rng(seed)/Generator(bitgen) with an explicit seed
+            # is a private, deterministic stream — only the no-argument
+            # form (seeded from OS entropy) and the module-level global
+            # state are hazards.
+            if parts[2] in ("default_rng", "Generator") and (call.args or call.keywords):
+                continue
+            yield call, (
+                f"{name}() uses numpy's global (or entropy-seeded) RNG "
+                "outside sim/rng.py; seed it explicitly or draw from "
+                "sim.rng.stream(<name>)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# DET003 unordered iteration feeding scheduling / ordered output
+_SCHEDULING_ATTRS = {
+    "spawn",
+    "spawn_at",
+    "timeout",
+    "provider_call",
+    "send",
+    "post",
+    "schedule",
+    "enqueue",
+    "_schedule_at",
+    "_schedule_call",
+}
+
+
+def _setish_names(fn: ast.AST) -> Set[str]:
+    """Local names bound to set-typed values inside one function."""
+    names: Set[str] = set()
+
+    def setish(expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in ("set", "frozenset")
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            return setish(expr.left) or setish(expr.right)
+        if isinstance(expr, ast.Name):
+            return expr.id in names
+        return False
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and setish(node.value):
+                names.add(target.id)
+        elif isinstance(node, ast.AugAssign):
+            # x &= set(...) keeps x set-typed; x stays in `names`.
+            continue
+    return names
+
+
+def _is_unordered_iter(expr: ast.AST, setnames: Set[str]) -> Optional[str]:
+    """Why ``expr`` iterates in unordered/implicit order, or None."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension"
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Name) and expr.func.id in ("set", "frozenset"):
+            return f"{expr.func.id}(...)"
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr == "keys":
+            return ".keys() (make the ordering explicit)"
+    if isinstance(expr, ast.Name) and expr.id in setnames:
+        return f"set-typed local {expr.id!r}"
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        if (
+            _is_unordered_iter(expr.left, setnames) is not None
+            or _is_unordered_iter(expr.right, setnames) is not None
+        ):
+            return "a set expression"
+    return None
+
+
+def _contains_scheduling(node: Iterable[ast.AST]) -> bool:
+    for stmt in node:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                attr = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                if attr in _SCHEDULING_ATTRS:
+                    return True
+    return False
+
+
+@rule(
+    "DET003",
+    "unordered-iter",
+    "unordered iteration feeding scheduling or ordered containers",
+)
+def check_unordered_iteration(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    scopes: List[ast.AST] = [mod.tree, *function_defs(mod.tree)]
+    seen: Set[Tuple[int, int]] = set()
+    for scope in scopes:
+        setnames = _setish_names(scope) if scope is not mod.tree else set()
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not scope:
+                continue  # handled as its own scope
+            if isinstance(node, ast.For):
+                why = _is_unordered_iter(node.iter, setnames)
+                if why and _contains_scheduling(node.body):
+                    key = (node.lineno, node.col_offset)
+                    if key not in seen:
+                        seen.add(key)
+                        yield node, (
+                            f"loop over {why} spawns/schedules/sends per "
+                            "element: hash order becomes schedule order; "
+                            "iterate sorted(...) instead"
+                        )
+            elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                for gen in node.generators:
+                    why = _is_unordered_iter(gen.iter, setnames)
+                    if why is None:
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    kind = "list" if isinstance(node, ast.ListComp) else "dict"
+                    yield node, (
+                        f"{kind} comprehension over {why} materializes an "
+                        "arbitrary (PYTHONHASHSEED-dependent) order; iterate "
+                        "sorted(...) instead"
+                    )
+                    break
+
+
+# ---------------------------------------------------------------------------
+# DET004 id()-based ordering
+@rule("DET004", "id-ordering", "id() values are memory addresses, unstable across runs")
+def check_id_ordering(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    for call in iter_calls(mod.tree):
+        if isinstance(call.func, ast.Name) and call.func.id == "id" and len(call.args) == 1:
+            yield call, (
+                "id()-based ordering/keying depends on allocation addresses; "
+                "key on a stable name or sequence number instead"
+            )
+
+
+# ---------------------------------------------------------------------------
+# DET005 mutable defaults in coroutines
+def _mutable_default(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in ("list", "dict", "set", "bytearray"):
+            return expr.func.id
+    return None
+
+
+@rule("DET005", "mutable-default", "mutable defaults on task coroutines leak between spawns")
+def check_mutable_coroutine_defaults(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    for fn in function_defs(mod.tree):
+        if not is_coroutine_def(fn):
+            continue
+        defaults = list(fn.args.defaults) + [
+            d for d in fn.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            kind = _mutable_default(default)
+            if kind is not None:
+                yield default, (
+                    f"coroutine {fn.name!r} has a mutable {kind} default: "
+                    "every spawn shares (and mutates) one instance; "
+                    "default to None and allocate inside"
+                )
+
+
+# ---------------------------------------------------------------------------
+# DET006 interrupt-swallowing excepts in coroutines
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@rule("DET006", "swallowed-throw", "bare except around a yield swallows kernel throws")
+def check_bare_except_around_yield(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    for fn in function_defs(mod.tree):
+        if not is_coroutine_def(fn):
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            if next(_yields_directly_in_body(node.body), None) is None:
+                continue
+            for handler in node.handlers:
+                too_broad = handler.type is None or (
+                    isinstance(handler.type, ast.Name)
+                    and handler.type.id == "BaseException"
+                )
+                if too_broad and not _handler_reraises(handler):
+                    what = "bare except" if handler.type is None else "except BaseException"
+                    yield handler, (
+                        f"{what} wraps a yield point without re-raising: "
+                        "Interrupt/Killed/GeneratorExit delivered via "
+                        "gen.throw() are silently swallowed; catch specific "
+                        "exceptions or re-raise"
+                    )
+
+
+def _yields_directly_in_body(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    for stmt in body:
+        yield from _yields_directly_stmt(stmt)
+
+
+def _yields_directly_stmt(stmt: ast.stmt) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# DET007 builtin hash()
+@rule("DET007", "hash-builtin", "hash() is PYTHONHASHSEED-dependent for str/bytes")
+def check_builtin_hash(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    for call in iter_calls(mod.tree):
+        if isinstance(call.func, ast.Name) and call.func.id == "hash" and call.args:
+            yield call, (
+                "builtin hash() of str/bytes varies per process "
+                "(PYTHONHASHSEED), so set/dict iteration orders built on it "
+                "differ across runs; use a stable digest (zlib.crc32, "
+                "hashlib) instead"
+            )
+
+
+# ---------------------------------------------------------------------------
+# DET008 order-sensitive float accumulation
+_ORDER_SENSITIVE_SUFFIX = ("mona/ops.py", "icet/compositor.py")
+
+
+@rule(
+    "DET008",
+    "float-accumulation",
+    "float accumulation order matters in registered reducer modules",
+)
+def check_float_accumulation(mod: ModuleInfo) -> Iterator[Tuple[ast.AST, str]]:
+    rel = mod.rel.replace("\\", "/")
+    if not rel.endswith(_ORDER_SENSITIVE_SUFFIX):
+        return
+    for call in iter_calls(mod.tree):
+        name = dotted_name(call.func)
+        if name == "sum" or (name and name.split(".")[-1] == "reduce"):
+            yield call, (
+                f"{name}() accumulates in argument order inside an "
+                "order-sensitive reducer: rank permutations change the "
+                "float result; use math.fsum or a fixed reduction tree"
+            )
+
+
+# ---------------------------------------------------------------------------
+# runner
+@dataclass
+class LintReport:
+    """All findings over a file set."""
+
+    findings: List[Finding]
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"detlint: {len(self.unsuppressed)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(RULES)} rules"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                        "suppressed": f.suppressed,
+                        "reason": f.reason,
+                    }
+                    for f in self.findings
+                ],
+                "ok": self.ok,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    root: Optional[str] = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) with all (or ``select``)
+    rules; findings matching a suppression comment are kept but marked."""
+    selected = set(select) if select else {r.id for r in RULES}
+    root_path = Path(root) if root else Path.cwd()
+    findings: List[Finding] = []
+    for file_path in _python_files(Path(p) for p in paths):
+        try:
+            rel = str(file_path.resolve().relative_to(root_path.resolve()))
+        except ValueError:
+            rel = str(file_path)
+        rel = rel.replace("\\", "/")
+        mod = ModuleInfo(file_path, rel, file_path.read_text())
+        for lineno in mod.bad_disables:
+            findings.append(
+                Finding(
+                    rule="DET000",
+                    path=rel,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        "detlint suppression without a reason string "
+                        "(use `# detlint: disable=DETxxx -- why`)"
+                    ),
+                )
+            )
+        for rule_obj in RULES:
+            if rule_obj.id not in selected:
+                continue
+            for node, message in rule_obj.fn(mod):
+                line = getattr(node, "lineno", 1)
+                col = getattr(node, "col_offset", 0)
+                reason = mod.suppression_for(rule_obj.id, line)
+                findings.append(
+                    Finding(
+                        rule=rule_obj.id,
+                        path=rel,
+                        line=line,
+                        col=col,
+                        message=message,
+                        suppressed=reason is not None,
+                        reason=reason or "",
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(findings)

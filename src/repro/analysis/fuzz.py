@@ -1,0 +1,234 @@
+"""Schedule-perturbation fuzzer: determinism under adversarial tie-breaks.
+
+The kernel resolves same-timestamp events FIFO (a monotonic sequence
+number breaks ties). That makes every run reproducible — but it also
+means the test suite only ever exercises *one* of the many schedules
+the protocol must tolerate: real Mercury/Argobots interleavings do not
+arrive in spawn order. The fuzzer explores that space while staying
+seeded:
+
+1. ``Simulation(perturb_seed=k)`` passes each tie-break sequence number
+   through a splitmix64 bijection salted with ``k`` — a deterministic
+   permutation of same-timestamp event order, different for every
+   ``k``, identical for the same ``k``.
+2. A fuzz scenario runs the *unmodified* stack under
+   :class:`repro.sim.perturbed_ties` and reduces the outcome to two
+   digests:
+
+   - the **schedule digest** (``sim.trace.digest()``) — expected to
+     *differ* across perturbations (evidence the knob actually moved
+     the schedule), and
+   - the **invariant digest** — a canonical hash of what the run
+     *guarantees* (invariant-monitor violations, per-iteration view
+     sizes, final membership), expected to be *identical* across
+     perturbations.
+
+Any perturbation seed that changes the invariant digest, or produces a
+violation, is a reproducible counterexample: re-run with the same
+``(scenario seed, fuzz seed)`` pair and the exact failing schedule
+replays.
+
+CLI: ``python -m repro.analysis fuzz --scenario 2pc_activation -n 5``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim import perturbed_ties
+
+__all__ = [
+    "FUZZ_SCENARIOS",
+    "FuzzOutcome",
+    "FuzzReport",
+    "fuzz_scenario",
+    "run_fuzz",
+    "run_fuzz_one",
+]
+
+
+def invariant_digest(payload: Dict[str, Any]) -> str:
+    """Canonical hash of the run's observable guarantees."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """One run of one scenario under one perturbation."""
+
+    scenario: str
+    seed: int
+    fuzz_seed: Optional[int]  # None = baseline FIFO schedule
+    schedule_digest: str
+    invariant_digest: str
+    violations: Tuple[str, ...]
+    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class FuzzReport:
+    """A baseline plus N perturbed runs of one scenario."""
+
+    scenario: str
+    seed: int
+    baseline: FuzzOutcome
+    outcomes: List[FuzzOutcome]
+
+    @property
+    def divergences(self) -> List[FuzzOutcome]:
+        """Perturbed runs whose guarantees differ from the baseline's."""
+        return [
+            o
+            for o in self.outcomes
+            if o.violations or o.invariant_digest != self.baseline.invariant_digest
+        ]
+
+    @property
+    def perturbed_schedules(self) -> int:
+        """How many perturbations actually produced a distinct schedule
+        (if this is 0 the fuzzer exercised nothing)."""
+        return len(
+            {o.schedule_digest for o in self.outcomes}
+            - {self.baseline.schedule_digest}
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.baseline.violations and not self.divergences
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz {self.scenario} seed={self.seed}: "
+            f"{len(self.outcomes)} perturbed run(s), "
+            f"{self.perturbed_schedules} distinct schedule(s), "
+            f"{len(self.divergences)} divergence(s)"
+        ]
+        for outcome in self.divergences:
+            lines.append(
+                f"  DIVERGED fuzz_seed={outcome.fuzz_seed}: "
+                f"invariant {outcome.invariant_digest[:12]} != "
+                f"baseline {self.baseline.invariant_digest[:12]}"
+            )
+            for violation in outcome.violations:
+                lines.append(f"    violation: {violation}")
+        if self.ok:
+            lines.append(
+                f"  all invariant digests == {self.baseline.invariant_digest[:12]}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scenario registry
+#: name -> callable(seed) -> (schedule_digest, invariant_payload, violations)
+FUZZ_SCENARIOS: Dict[str, Callable[[int], Tuple[str, Dict[str, Any], List[str]]]] = {}
+
+
+def fuzz_scenario(fn):
+    FUZZ_SCENARIOS[fn.__name__.replace("_fuzz_", "", 1)] = fn
+    return fn
+
+
+@fuzz_scenario
+def _fuzz_2pc_activation(seed: int) -> Tuple[str, Dict[str, Any], List[str]]:
+    """Full stack, three 2PC-activated iterations, invariant monitor on.
+
+    The guarantee under test: no matter how same-timestamp RPC
+    deliveries interleave, every activate commits the same agreed view,
+    blocks stay singly owned, and membership reconverges.
+    """
+    from repro.chaos.scenarios import _finish, _workload, build_stack
+    from repro.testing import drive
+
+    ctx = build_stack(seed)
+    view_sizes = drive(ctx.sim, _workload(ctx, iterations=3), max_time=600)
+    result = _finish(ctx, {"view_sizes": view_sizes})
+    payload = {
+        "view_sizes": view_sizes,
+        "final_members": sorted(str(a) for a in ctx.deployment.addresses()),
+        "violations": sorted(result.violations),
+    }
+    return result.digest, payload, list(result.violations)
+
+
+@fuzz_scenario
+def _fuzz_swim_convergence(seed: int) -> Tuple[str, Dict[str, Any], List[str]]:
+    """Five SWIM agents converge, one leaves gracefully, the rest
+    reconverge: final membership must not depend on gossip tie-breaks."""
+    from repro.ssg.agent import converged
+    from repro.sim import Simulation
+    from repro.testing import build_ssg_group, drive, run_until
+
+    sim = Simulation(seed=seed)
+    _fabric, _gf, agents = build_ssg_group(sim, 5)
+    violations: List[str] = []
+    try:
+        run_until(sim, lambda: converged(agents), max_time=120)
+    except TimeoutError:
+        violations.append("initial convergence timed out")
+    drive(sim, agents[-1].leave(), max_time=60)
+    try:
+        run_until(sim, lambda: converged(agents), max_time=120)
+    except TimeoutError:
+        violations.append("post-leave convergence timed out")
+    sim.run(until=sim.now + 5.0)
+    members = sorted(str(a) for a in agents[0].members())
+    payload = {
+        "members": members,
+        "n_members": len(members),
+        "converged": converged(agents),
+        "violations": sorted(violations),
+    }
+    if not converged(agents):
+        violations.append(f"group not converged at t={sim.now:.2f}")
+    return sim.trace.digest(), payload, violations
+
+
+# ---------------------------------------------------------------------------
+# harness
+def run_fuzz_one(
+    scenario: str, seed: int = 0, fuzz_seed: Optional[int] = None
+) -> FuzzOutcome:
+    """One run of ``scenario`` under perturbation ``fuzz_seed`` (None =
+    the unperturbed FIFO baseline)."""
+    fn = FUZZ_SCENARIOS[scenario]
+    if fuzz_seed is None:
+        schedule, payload, violations = fn(seed)
+    else:
+        with perturbed_ties(fuzz_seed):
+            schedule, payload, violations = fn(seed)
+    return FuzzOutcome(
+        scenario=scenario,
+        seed=seed,
+        fuzz_seed=fuzz_seed,
+        schedule_digest=schedule,
+        invariant_digest=invariant_digest(payload),
+        violations=tuple(violations),
+        payload=payload,
+    )
+
+
+def run_fuzz(
+    scenario: str,
+    seed: int = 0,
+    fuzz_seeds: Optional[List[int]] = None,
+    n: int = 5,
+) -> FuzzReport:
+    """Baseline run plus one perturbed run per fuzz seed (default
+    ``range(n)``), diffing invariant digests against the baseline."""
+    if scenario not in FUZZ_SCENARIOS:
+        raise KeyError(
+            f"unknown fuzz scenario {scenario!r}; have {sorted(FUZZ_SCENARIOS)}"
+        )
+    seeds = list(fuzz_seeds) if fuzz_seeds is not None else list(range(n))
+    baseline = run_fuzz_one(scenario, seed, None)
+    outcomes = [run_fuzz_one(scenario, seed, fs) for fs in seeds]
+    return FuzzReport(scenario=scenario, seed=seed, baseline=baseline, outcomes=outcomes)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.simtsan import untracked
 from repro.chaos.faults import name_of
 
 __all__ = ["InvariantMonitor"]
@@ -114,12 +115,15 @@ class InvariantMonitor:
     # spans: invariants 1 and 3
     def _on_span(self, span) -> None:
         self.watch_all()
-        if span.name == "colza.activate" and "view" in span.tags:
-            self._check_frozen_agreement(span)
-        elif span.name == "colza.execute":
-            self._check_block_ownership(
-                span.tags.get("pipeline"), span.tags.get("iteration")
-            )
+        # The monitor audits protocol state without being part of the
+        # protocol: its reads must not register as SimTSan accesses.
+        with untracked(self.sim):
+            if span.name == "colza.activate" and "view" in span.tags:
+                self._check_frozen_agreement(span)
+            elif span.name == "colza.execute":
+                self._check_block_ownership(
+                    span.tags.get("pipeline"), span.tags.get("iteration")
+                )
 
     def _check_frozen_agreement(self, span) -> None:
         view: Tuple[str, ...] = tuple(span.tags["view"].split(";"))

@@ -132,9 +132,16 @@ def build_stack(
     stage_timeout: Optional[float] = 2.0,
     data_timeout: Optional[float] = 6.0,
     control_timeout: float = 2.0,
+    perturb_seed: Optional[int] = None,
 ) -> ChaosContext:
-    """A booted, converged Colza stack with an invariant monitor attached."""
-    sim = Simulation(seed=seed)
+    """A booted, converged Colza stack with an invariant monitor attached.
+
+    ``perturb_seed`` turns on the kernel's seeded permutation of
+    same-timestamp tie-breaking (see :mod:`repro.analysis.fuzz`); it
+    defaults to whatever :class:`repro.sim.perturbed_ties` context is
+    in force, so fuzzed re-runs need no parameter threading.
+    """
+    sim = Simulation(seed=seed, perturb_seed=perturb_seed)
     deployment = Deployment(sim, swim_config=swim or _fast_swim())
     drive(sim, deployment.start_servers(n_servers), max_time=300)
     run_until(sim, deployment.converged, max_time=300)

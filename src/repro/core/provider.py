@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from repro.analysis.simtsan import Shared
 from repro.core.backend import Backend, StagedBlock, create_backend
 from repro.margo import MargoInstance, Provider
 from repro.na.address import Address
@@ -45,15 +46,25 @@ class ColzaProvider(Provider):
         super().__init__(margo, "colza")
         self.agent = agent
         self.mona = mona_instance
-        self.pipelines: Dict[str, Backend] = {}
+        # The three shared tables cross-task handlers race on are
+        # SimTSan-observable (plain dicts until a detector is
+        # installed; see repro.analysis.simtsan).
+        addr = margo.address
+        self.pipelines: Dict[str, Backend] = Shared(
+            sim=margo.sim, label=f"colza.pipelines@{addr}"
+        )
         #: (pipeline, iteration) -> activation epoch. The epoch token
         #: lets long-running handlers (e.g. a stage blocked mid-RDMA)
         #: detect that their iteration was deactivated — or aborted and
         #: re-activated — while they were suspended.
-        self._active: Dict[Tuple[str, int], int] = {}
+        self._active: Dict[Tuple[str, int], int] = Shared(
+            sim=margo.sim, label=f"colza.active@{addr}"
+        )
         self._epochs = itertools.count(1)
         #: (pipeline, iteration) -> prepared view from 2PC phase 1.
-        self._prepared: Dict[Tuple[str, int], Tuple[Address, ...]] = {}
+        self._prepared: Dict[Tuple[str, int], Tuple[Address, ...]] = Shared(
+            sim=margo.sim, label=f"colza.prepared@{addr}"
+        )
         #: Leave was requested while frozen; honored at deactivate.
         self._leave_deferred = False
         self.leaving = False

@@ -9,6 +9,7 @@ without communication.
 
 from __future__ import annotations
 
+import zlib
 from functools import total_ordering
 
 __all__ = ["Address"]
@@ -37,7 +38,10 @@ class Address:
         return self.uri < other.uri
 
     def __hash__(self) -> int:
-        return hash(self.uri)
+        # Stable across processes (str hash is PYTHONHASHSEED-salted),
+        # so set/dict iteration over addresses orders identically in
+        # every run.
+        return zlib.crc32(self.uri.encode())
 
     def __str__(self) -> str:
         return self.uri

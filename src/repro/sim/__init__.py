@@ -28,6 +28,7 @@ from repro.sim.kernel import (
     SimulationError,
     Simulation,
     Task,
+    perturbed_ties,
 )
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
@@ -46,4 +47,5 @@ __all__ = [
     "Span",
     "Task",
     "Tracer",
+    "perturbed_ties",
 ]

@@ -9,6 +9,12 @@ Sub-routines compose with ``yield from`` and may ``return`` values.
 Determinism: events scheduled for the same simulated time fire in
 schedule order (a monotonically increasing sequence number breaks
 ties), so a given program produces an identical trace on every run.
+Whether program *correctness* accidentally depends on that FIFO
+tie-break order is testable: perturbation mode (``perturb_seed``, or
+the :func:`perturbed_ties` context manager used by
+``repro.analysis.fuzz``) replaces the sequence number with a seeded
+bijective permutation of it, yielding a different — but equally
+deterministic — interleaving of same-timestamp events.
 
 Example
 -------
@@ -38,10 +44,54 @@ __all__ = [
     "Simulation",
     "SimulationError",
     "Task",
+    "perturbed_ties",
 ]
 
 # A task body: a generator yielding Events and returning an arbitrary value.
 Coroutine = Generator["Event", Any, Any]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """A 64-bit bijective mixer (Steele et al.): unique inputs map to
+    unique outputs, so perturbed tie-break keys never collide."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+#: Process-wide default perturbation seed, consulted by Simulation()
+#: when no explicit ``perturb_seed`` is given. Set via perturbed_ties().
+_default_perturb_seed: Optional[int] = None
+
+
+class perturbed_ties:
+    """Context manager: simulations built inside the block perturb
+    their same-timestamp tie-breaking with ``seed``.
+
+    Lets the schedule fuzzer re-run *unmodified* scenario code (which
+    constructs its own :class:`Simulation`) under a perturbed schedule::
+
+        with perturbed_ties(7):
+            result = run_scenario("baseline_no_faults", seed=0)
+    """
+
+    def __init__(self, seed: Optional[int]):
+        self.seed = seed
+        self._outer: Optional[int] = None
+
+    def __enter__(self) -> "perturbed_ties":
+        global _default_perturb_seed
+        self._outer = _default_perturb_seed
+        _default_perturb_seed = self.seed
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _default_perturb_seed
+        _default_perturb_seed = self._outer
+        return None
 
 
 class SimulationError(RuntimeError):
@@ -115,9 +165,20 @@ class Event:
         return self
 
     def fail(self, exc: BaseException) -> "Event":
-        """Fire the event with an exception, thrown into all waiters."""
+        """Fire the event with an exception, thrown into all waiters.
+
+        Failing an event that already fired raises
+        :class:`SimulationError`: the original outcome may already have
+        resumed waiters, so silently swallowing (or overwriting) the
+        second verdict would hide a protocol bug.
+        """
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
+        if self._fired:
+            raise SimulationError(
+                f"fail() on already-fired event {self.name!r} "
+                f"(new failure: {exc!r})"
+            )
         self._trigger(None, exc)
         return self
 
@@ -228,7 +289,7 @@ class Task:
 
     __slots__ = (
         "sim", "name", "gen", "done", "_waiting_on", "_resume_cb",
-        "trace_parent", "trace_stack",
+        "trace_parent", "trace_stack", "clock",
     )
 
     def __init__(self, sim: "Simulation", gen: Coroutine, name: str = ""):
@@ -243,6 +304,11 @@ class Task:
         #: this task's own span stack (see repro.sim.trace.Tracer).
         self.trace_parent: Optional[Any] = None
         self.trace_stack: Optional[list] = None
+        #: Logical clock: number of times the kernel has resumed this
+        #: task. Two accesses with the same clock value happened inside
+        #: one uninterrupted run slice (no yield between them) — the
+        #: happens-before primitive SimTSan builds on.
+        self.clock = 0
 
     # ------------------------------------------------------------------
     @property
@@ -257,11 +323,17 @@ class Task:
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the task at its current yield.
 
-        No-op if the task already finished. The task may catch the
-        interrupt and continue.
+        Interrupting a finished task raises :class:`SimulationError`:
+        there is no yield point left to deliver the interrupt to, so
+        the caller is acting on a stale handle (check
+        :attr:`finished` first when the race is expected). The task
+        may catch the interrupt and continue.
         """
         if self.finished:
-            return
+            raise SimulationError(
+                f"interrupt() on finished task {self.name!r} "
+                f"(cause: {cause!r})"
+            )
         self._detach()
         self.sim._schedule_call(lambda: self._step(None, Interrupt(cause)))
 
@@ -291,6 +363,11 @@ class Task:
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.finished:
             return
+        # Switch instrumentation: one tick per resume, globally and on
+        # the task's own logical clock (plain int bumps — cheap enough
+        # to stay unconditional; SimTSan reads them lazily).
+        self.sim._switch_epoch += 1
+        self.clock += 1
         self.sim._current_task = self
         try:
             if exc is not None:
@@ -346,13 +423,37 @@ class Simulation:
         When true (default), an uncaught exception in any task aborts
         :meth:`run`; when false, the failure is recorded on the task's
         ``done`` event only.
+    perturb_seed:
+        When given, same-timestamp tie-breaking follows a seeded
+        bijective permutation of the schedule order instead of FIFO —
+        still fully deterministic per seed, but a *different*
+        interleaving, used by the schedule fuzzer to prove protocol
+        correctness does not ride on accidental FIFO order. ``None``
+        (the default) falls back to the ambient :func:`perturbed_ties`
+        context, then to plain FIFO.
     """
 
-    def __init__(self, seed: int = 0, strict: bool = True):
+    def __init__(
+        self,
+        seed: int = 0,
+        strict: bool = True,
+        perturb_seed: Optional[int] = None,
+    ):
         self._now = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.strict = strict
+        if perturb_seed is None:
+            perturb_seed = _default_perturb_seed
+        #: The tie-break perturbation seed in force (None = FIFO).
+        self.perturb_seed = perturb_seed
+        self._perturb_salt = (
+            None if perturb_seed is None else _splitmix64(perturb_seed & _MASK64)
+        )
+        #: Global resume counter (see Task.clock).
+        self._switch_epoch = 0
+        #: Installed SimTSan detector, if any (repro.analysis.simtsan).
+        self._simtsan: Optional[Any] = None
         self._current_task: Optional[Task] = None
         self.tasks: list[Task] = []
         # Named interception points (see add_interceptor). Kept as a
@@ -496,7 +597,12 @@ class Simulation:
     # ------------------------------------------------------------------
     # kernel internals
     def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
-        heapq.heappush(self._queue, (when, next(self._seq), call))
+        key = next(self._seq)
+        if self._perturb_salt is not None:
+            # Bijective, so keys stay unique: same-time events fire in
+            # a seeded permutation of schedule order instead of FIFO.
+            key = _splitmix64(key ^ self._perturb_salt)
+        heapq.heappush(self._queue, (when, key, call))
 
     def _schedule_call(self, call: Callable[[], None]) -> None:
         self._schedule_at(self._now, call)

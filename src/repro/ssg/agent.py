@@ -73,7 +73,7 @@ class SSGAgent(Provider):
         super().__init__(margo, "ssg")
         self.config = config or SwimConfig()
         self.group_file = group_file
-        self.view = MembershipView(margo.address)
+        self.view = MembershipView(margo.address, sim=margo.sim)
         self.incarnation = 0
         self.observer = observer
         #: Additional membership listeners (invariant monitors, metrics)

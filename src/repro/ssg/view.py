@@ -70,13 +70,26 @@ class MemberState:
 
 
 class MembershipView:
-    """One agent's (eventually consistent) picture of the group."""
+    """One agent's (eventually consistent) picture of the group.
 
-    def __init__(self, self_address: Address):
+    Passing ``sim`` keeps the module's pure-logic default intact but
+    stores the member table in a SimTSan-observable
+    :class:`~repro.analysis.simtsan.Shared` container, so reads of the
+    view that span a yield point while another task applies an update
+    are flagged as races when a detector is installed.
+    """
+
+    def __init__(self, self_address: Address, sim=None):
         self.self_address = self_address
-        self._members: Dict[Address, MemberState] = {
-            self_address: MemberState(Status.ALIVE, 0)
-        }
+        initial = {self_address: MemberState(Status.ALIVE, 0)}
+        if sim is None:
+            self._members: Dict[Address, MemberState] = initial
+        else:
+            from repro.analysis.simtsan import Shared
+
+            self._members = Shared(
+                initial, sim=sim, label=f"ssg.view@{self_address}"
+            )
 
     # ------------------------------------------------------------------
     def alive(self) -> List[Address]:

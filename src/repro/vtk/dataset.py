@@ -167,7 +167,8 @@ class PolyData:
         for p in pieces[1:]:
             common &= set(p.point_data)
         point_data = {
-            name: np.concatenate([p.point_data[name] for p in pieces]) for name in common
+            name: np.concatenate([p.point_data[name] for p in pieces])
+            for name in sorted(common)
         }
         return PolyData(points, triangles, point_data)
 

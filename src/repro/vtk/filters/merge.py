@@ -37,9 +37,11 @@ def merge_blocks(multiblock: MultiBlockDataSet) -> UnstructuredGrid:
         common_pt &= set(b.point_data)
         common_cell &= set(b.cell_data)
     point_data = {
-        name: np.concatenate([b.point_data[name] for b in blocks]) for name in common_pt
+        name: np.concatenate([b.point_data[name] for b in blocks])
+        for name in sorted(common_pt)
     }
     cell_data = {
-        name: np.concatenate([b.cell_data[name] for b in blocks]) for name in common_cell
+        name: np.concatenate([b.cell_data[name] for b in blocks])
+        for name in sorted(common_cell)
     }
     return UnstructuredGrid(points, cells, point_data, cell_data)

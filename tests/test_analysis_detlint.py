@@ -1,0 +1,318 @@
+"""detlint: the determinism linter (repro.analysis.detlint)."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.detlint import RULES, run_lint
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def lint_source(tmp_path, source, select=None, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], select=select, root=str(tmp_path))
+
+
+def rules_hit(report):
+    return sorted({f.rule for f in report.unsuppressed})
+
+
+# ---------------------------------------------------------------------------
+# rule-by-rule
+def test_det001_wall_clock(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+        from datetime import datetime
+
+        def f():
+            a = time.time()
+            b = time.perf_counter()
+            c = datetime.now()
+            return a, b, c
+        """,
+    )
+    assert rules_hit(report) == ["DET001"]
+    assert len(report.unsuppressed) == 3
+
+
+def test_det002_global_rng(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+        import numpy as np
+
+        def f():
+            x = random.random()
+            y = np.random.normal()
+            z = np.random.default_rng()  # unseeded: OS entropy
+            return x, y, z
+        """,
+    )
+    assert rules_hit(report) == ["DET002"]
+    assert len(report.unsuppressed) == 3
+
+
+def test_det002_seeded_default_rng_is_fine(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def f(seed):
+            rng = np.random.default_rng(seed)  # private, deterministic
+            return rng.random()
+        """,
+    )
+    assert report.ok
+
+
+def test_det002_allowed_in_rng_module(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def f():
+            return random.random()
+        """,
+        name="sim/rng.py",
+    )
+    assert report.ok
+
+
+def test_det003_set_iteration_feeding_spawn(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def fan_out(sim, members):
+            for m in set(members):
+                sim.spawn(ping(sim, m))
+        """,
+    )
+    assert rules_hit(report) == ["DET003"]
+
+
+def test_det003_set_comprehension_to_dict(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def merge(pieces):
+            common = set(pieces[0])
+            for p in pieces[1:]:
+                common &= set(p)
+            return {name: name.upper() for name in common}
+        """,
+    )
+    assert rules_hit(report) == ["DET003"]
+
+
+def test_det003_sorted_set_is_fine(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def fan_out(sim, members):
+            for m in sorted(set(members)):
+                sim.spawn(ping(sim, m))
+        """,
+    )
+    assert report.ok
+
+
+def test_det003_plain_set_loop_without_scheduling_is_fine(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def total(values):
+            acc = 0
+            for v in set(values):
+                acc += v  # commutative: order doesn't matter
+            return acc
+        """,
+    )
+    assert report.ok
+
+
+def test_det004_id_ordering(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def key_of(obj):
+            return id(obj)
+        """,
+    )
+    assert rules_hit(report) == ["DET004"]
+
+
+def test_det005_mutable_default_in_coroutine(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def task(sim, acc=[]):
+            yield sim.timeout(1.0)
+            acc.append(sim.now)
+
+        def plain(sim, acc=[]):
+            return acc  # not a coroutine: out of scope for this rule
+        """,
+    )
+    assert rules_hit(report) == ["DET005"]
+    assert len(report.unsuppressed) == 1
+
+
+def test_det006_bare_except_around_yield(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def task(sim):
+            try:
+                yield sim.timeout(5.0)
+            except:
+                pass  # swallows Interrupt/Killed/GeneratorExit
+
+        def careful(sim):
+            try:
+                yield sim.timeout(5.0)
+            except:
+                raise  # re-raises: fine
+        """,
+    )
+    assert rules_hit(report) == ["DET006"]
+    assert len(report.unsuppressed) == 1
+
+
+def test_det007_builtin_hash(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def bucket(name):
+            return hash(name) % 8
+        """,
+    )
+    assert rules_hit(report) == ["DET007"]
+
+
+def test_det008_sum_in_reducer_module(tmp_path):
+    source = """
+    def reduce_mean(values):
+        return sum(values) / len(values)
+    """
+    flagged = lint_source(tmp_path, source, name="mona/ops.py")
+    assert rules_hit(flagged) == ["DET008"]
+    elsewhere = lint_source(tmp_path, source, name="other/util.py")
+    assert elsewhere.ok
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+def test_line_suppression_with_reason(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return time.time()  # detlint: disable=DET001 -- wall time shown to the operator
+        """,
+    )
+    assert report.ok
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].reason == "wall time shown to the operator"
+
+
+def test_file_suppression_with_reason(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        # detlint: disable-file=DET001 -- benchmark driver, wall time is the product
+        import time
+
+        def f():
+            return time.time()
+
+        def g():
+            return time.perf_counter()
+        """,
+    )
+    assert report.ok
+    assert len(report.suppressed) == 2
+
+
+def test_suppression_without_reason_is_rejected(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return time.time()  # detlint: disable=DET001
+        """,
+    )
+    # The finding stays unsuppressed AND the bad comment is flagged.
+    assert "DET001" in rules_hit(report)
+    assert "DET000" in rules_hit(report)
+
+
+def test_suppression_only_covers_named_rule(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return hash(time.time())  # detlint: disable=DET007 -- demo
+        """,
+    )
+    assert rules_hit(report) == ["DET001"]
+
+
+def test_select_limits_rules(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return hash(time.time())
+        """,
+        select=["DET007"],
+    )
+    assert rules_hit(report) == ["DET007"]
+
+
+# ---------------------------------------------------------------------------
+# output and the tree itself
+def test_json_output_round_trips(tmp_path):
+    import json
+
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return time.time()
+        """,
+    )
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "DET001"
+
+
+def test_rule_registry_is_complete():
+    assert [r.id for r in RULES] == [f"DET00{i}" for i in range(1, 9)]
+
+
+def test_tree_is_clean():
+    """The acceptance gate: zero unsuppressed findings over src/, and
+    every suppression carries a reason."""
+    report = run_lint([str(SRC)], root=str(SRC.parent))
+    assert report.ok, "\n" + report.render()
+    for finding in report.suppressed:
+        assert finding.reason

@@ -259,14 +259,14 @@ def test_interrupt_thrown_into_task(sim):
     assert log == [(3.0, "wake up")]
 
 
-def test_interrupt_finished_task_is_noop(sim):
+def test_interrupt_finished_task_raises(sim):
     def quick(sim):
         yield sim.timeout(0.1)
 
-    task = sim.spawn(quick(sim))
+    task = sim.spawn(quick(sim), name="quick")
     sim.run()
-    task.interrupt()  # must not raise
-    sim.run()
+    with pytest.raises(SimulationError, match="quick"):
+        task.interrupt()
 
 
 def test_kill_fails_done_with_killed(sim):
@@ -412,3 +412,105 @@ def test_yield_from_subroutine_returns_value(sim):
     sim.spawn(root(sim))
     sim.run()
     assert got == [(2.0, "leaf-value!")]
+
+
+def test_fail_on_already_fired_event_raises(sim):
+    ev = sim.event("verdict")
+    ev.succeed("ok")
+    with pytest.raises(SimulationError, match="verdict"):
+        ev.fail(RuntimeError("late failure"))
+
+
+def test_fail_on_already_failed_event_raises(sim):
+    sim.strict = False
+    ev = sim.event("verdict")
+    ev.fail(RuntimeError("first"))
+    with pytest.raises(SimulationError, match="verdict"):
+        ev.fail(RuntimeError("second"))
+
+
+def test_any_of_propagates_failure(sim):
+    ev = sim.event()
+    got = []
+
+    def body(sim, ev):
+        try:
+            yield sim.any_of([sim.timeout(10.0), ev])
+        except RuntimeError as err:
+            got.append((sim.now, str(err)))
+
+    def failer(sim, ev):
+        yield sim.timeout(2.0)
+        ev.fail(RuntimeError("bad"))
+
+    sim.spawn(body(sim, ev))
+    sim.spawn(failer(sim, ev))
+    sim.run()
+    assert got == [(2.0, "bad")]
+
+
+def test_all_of_second_failure_does_not_double_fire(sim):
+    ev1, ev2 = sim.event("e1"), sim.event("e2")
+    got = []
+
+    def body(sim):
+        try:
+            yield sim.all_of([ev1, ev2])
+        except RuntimeError as err:
+            got.append(str(err))
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev1.fail(RuntimeError("first"))
+        yield sim.timeout(1.0)
+        ev2.fail(RuntimeError("second"))
+
+    sim.spawn(body(sim))
+    sim.spawn(failer(sim))
+    sim.run()
+    assert got == ["first"]  # the combinator must not fail() twice
+
+
+# ---------------------------------------------------------------------------
+# schedule perturbation (repro.analysis.fuzz rides on this)
+def _tie_order(perturb_seed):
+    from repro.sim import Simulation
+
+    sim = Simulation(seed=0, perturb_seed=perturb_seed)
+    order = []
+
+    def body(sim, tag):
+        yield sim.timeout(1.0)
+        order.append((sim.now, tag))
+
+    for tag in "abcdef":
+        sim.spawn(body(sim, tag))
+    sim.run()
+    return order
+
+
+def test_perturbation_shuffles_ties_but_not_time():
+    baseline = _tie_order(None)
+    perturbed = _tie_order(7)
+    assert baseline == [(1.0, t) for t in "abcdef"]
+    assert perturbed != baseline  # ties really were permuted
+    assert sorted(perturbed) == sorted(baseline)  # same events, same times
+    assert all(when == 1.0 for when, _ in perturbed)
+
+
+def test_perturbation_is_seeded():
+    assert _tie_order(3) == _tie_order(3)
+    assert _tie_order(3) != _tie_order(4)
+
+
+def test_perturbed_ties_context_sets_default():
+    from repro.sim import Simulation, perturbed_ties
+
+    with perturbed_ties(11):
+        inner = Simulation(seed=0)
+        assert inner.perturb_seed == 11
+        # An explicit argument still wins over the ambient default.
+        explicit = Simulation(seed=0, perturb_seed=5)
+        assert explicit.perturb_seed == 5
+    outer = Simulation(seed=0)
+    assert outer.perturb_seed is None
