@@ -1,6 +1,6 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test chaos lint fuzz bench examples results clean
+.PHONY: install test chaos lint check report fuzz bench examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,12 @@ chaos:
 
 lint:
 	PYTHONPATH=src python -m repro.analysis lint src
+
+check:
+	PYTHONPATH=src python -m repro.analysis check src
+
+report:
+	@PYTHONPATH=src python -m repro.analysis report --json src
 
 fuzz:
 	PYTHONPATH=src python -m repro.analysis fuzz -n 5

@@ -15,12 +15,21 @@ convention into something enforced:
 - :mod:`repro.analysis.fuzz` — a schedule-perturbation fuzzer that
   re-runs scenarios under seeded permutations of same-timestamp
   tie-breaking and diffs invariant-level digests.
+- :mod:`repro.analysis.flowcheck` — an interprocedural protocol and
+  resource-lifecycle analyzer (DESIGN §10): whole-program call graph
+  over spawn edges and RPC name strings, with dataflow passes for task
+  leaks, event lifecycle, acquire/release pairing, lock-order cycles,
+  collective divergence, and RPC contract checking.
+- :mod:`repro.analysis.report` — merged SARIF-lite JSON across detlint
+  and flowcheck for CI artifacts.
 
-CLI: ``python -m repro.analysis lint`` / ``python -m repro.analysis
-fuzz`` (see ``--help`` on each).
+CLI: ``python -m repro.analysis lint`` / ``check`` / ``report`` /
+``fuzz`` (see ``--help`` on each).
 """
 
 from repro.analysis.detlint import Finding, LintReport, run_lint
+from repro.analysis.flowcheck import CheckReport, FlowFinding, run_check
+from repro.analysis.report import AnalysisReport, run_report
 from repro.analysis.simtsan import RaceReport, Shared, SimTSan, tracked, untracked
 
 #: Lazy re-exports from repro.analysis.fuzz: the fuzz harness imports
@@ -43,17 +52,22 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AnalysisReport",
+    "CheckReport",
     "FUZZ_SCENARIOS",
     "Finding",
+    "FlowFinding",
     "FuzzOutcome",
     "FuzzReport",
     "LintReport",
     "RaceReport",
     "Shared",
     "SimTSan",
+    "run_check",
     "run_fuzz",
     "run_fuzz_one",
     "run_lint",
+    "run_report",
     "tracked",
     "untracked",
 ]

@@ -3,11 +3,15 @@
 ::
 
     python -m repro.analysis lint [paths...] [--json] [--select DET001,DET003]
+    python -m repro.analysis check [paths...] [--select FC001,FC006] [--show-suppressed]
+    python -m repro.analysis report [paths...] --json
     python -m repro.analysis fuzz [--scenario NAME] [--seed N] [-n N | --fuzz-seeds 0,1,2] [--json]
 
-``lint`` exits 1 if any unsuppressed finding remains; ``fuzz`` exits 1
-if any perturbed schedule produces an invariant violation or an
-invariant digest differing from the unperturbed baseline.
+``lint`` (detlint) and ``check`` (flowcheck) exit 1 if any unsuppressed
+finding remains; ``report`` merges both into one SARIF-lite JSON
+document and exits 1 under the same condition; ``fuzz`` exits 1 if any
+perturbed schedule produces an invariant violation or an invariant
+digest differing from the unperturbed baseline.
 """
 
 from __future__ import annotations
@@ -20,14 +24,34 @@ from pathlib import Path
 from repro.analysis.detlint import RULES, run_lint
 
 
+def _default_paths(args: argparse.Namespace) -> list:
+    return args.paths or [str(Path(__file__).resolve().parents[2])]  # src/
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    paths = args.paths or [str(Path(__file__).resolve().parents[2])]  # src/
     select = args.select.split(",") if args.select else None
-    report = run_lint(paths, select=select, root=args.root)
+    report = run_lint(_default_paths(args), select=select, root=args.root)
     if args.json:
         print(report.to_json())
     else:
         print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.flowcheck import run_check
+
+    select = args.select.split(",") if args.select else None
+    report = run_check(_default_paths(args), select=select, root=args.root)
+    print(report.render(show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import run_report
+
+    report = run_report(_default_paths(args), root=args.root)
+    print(report.to_json())
     return 0 if report.ok else 1
 
 
@@ -89,6 +113,29 @@ def main(argv=None) -> int:
     )
     lint.add_argument("--root", help="path findings are reported relative to")
     lint.set_defaults(fn=_cmd_lint)
+
+    check = sub.add_parser("check", help="run the flowcheck dataflow passes")
+    check.add_argument("paths", nargs="*", help="files/directories (default: src tree)")
+    check.add_argument("--select", help="comma-separated rule ids (FC001..FC006)")
+    check.add_argument("--root", help="path findings are reported relative to")
+    check.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings (with reasons) in the output",
+    )
+    check.set_defaults(fn=_cmd_check)
+
+    report = sub.add_parser(
+        "report", help="merged detlint+flowcheck SARIF-lite JSON report"
+    )
+    report.add_argument(
+        "paths", nargs="*", help="files/directories (default: src tree)"
+    )
+    report.add_argument("--root", help="path findings are reported relative to")
+    report.add_argument(
+        "--json", action="store_true", help="accepted for symmetry; always JSON"
+    )
+    report.set_defaults(fn=_cmd_report)
 
     fuzz = sub.add_parser("fuzz", help="run the schedule-perturbation fuzzer")
     fuzz.add_argument(

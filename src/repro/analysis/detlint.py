@@ -40,10 +40,11 @@ from __future__ import annotations
 
 import ast
 import json
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.suppress import SuppressionTable
 
 __all__ = ["Finding", "LintReport", "ModuleInfo", "RULES", "run_lint"]
 
@@ -67,12 +68,6 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tail}"
 
 
-_DISABLE_RE = re.compile(
-    r"#\s*detlint:\s*disable(?P<file>-file)?\s*=\s*(?P<rules>[A-Z0-9,\s]+?)"
-    r"(?:\s*--\s*(?P<reason>.+?))?\s*$"
-)
-
-
 class ModuleInfo:
     """One parsed module plus its suppression table."""
 
@@ -82,37 +77,24 @@ class ModuleInfo:
         self.source = source
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=rel)
-        #: line -> (rule ids, reason)
-        self.line_disables: Dict[int, Tuple[Set[str], str]] = {}
-        #: rule id -> reason, applying to the whole file
-        self.file_disables: Dict[str, str] = {}
-        #: Malformed suppressions (no reason): reported as DET000.
-        self.bad_disables: List[int] = []
-        for lineno, text in enumerate(self.lines, start=1):
-            if "detlint" not in text:
-                continue
-            match = _DISABLE_RE.search(text)
-            if match is None:
-                continue
-            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
-            reason = (match.group("reason") or "").strip()
-            if not reason:
-                self.bad_disables.append(lineno)
-                continue
-            if match.group("file"):
-                for rule in rules:
-                    self.file_disables[rule] = reason
-            else:
-                self.line_disables[lineno] = (rules, reason)
+        self._suppressions = SuppressionTable("detlint", self.lines)
+
+    @property
+    def line_disables(self) -> Dict[int, Tuple[Set[str], str]]:
+        return self._suppressions.line_disables
+
+    @property
+    def file_disables(self) -> Dict[str, str]:
+        return self._suppressions.file_disables
+
+    @property
+    def bad_disables(self) -> List[int]:
+        """Malformed suppressions (no reason): reported as DET000."""
+        return self._suppressions.bad_disables
 
     def suppression_for(self, rule: str, line: int) -> Optional[str]:
         """The reason ``rule`` is suppressed at ``line``, or None."""
-        if rule in self.file_disables:
-            return self.file_disables[rule]
-        entry = self.line_disables.get(line)
-        if entry and rule in entry[0]:
-            return entry[1]
-        return None
+        return self._suppressions.suppression_for(rule, line)
 
 
 # ---------------------------------------------------------------------------

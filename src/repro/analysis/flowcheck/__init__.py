@@ -1,0 +1,35 @@
+"""flowcheck: interprocedural protocol & resource-lifecycle analysis.
+
+Where detlint pattern-matches single files, flowcheck builds a
+whole-program model of the generator-coroutine style used throughout
+``src/repro`` — a call graph over ``yield from`` chains, ``spawn``
+edges, and RPC dispatch through ``register_rpc``/``export`` name
+strings — and runs dataflow passes over it:
+
+========  ==========================================================
+FC001     task leaks — spawned task handles whose join()/kill() is
+          unreachable
+FC002     event lifecycle — waitable Events that can never fire, and
+          double-fire sites
+FC003     resource pairing — acquire/release and register/deregister
+          imbalance, including unprotected yields between the pair
+FC004     lock-order cycles across mutex acquire sites
+FC005     collective divergence — MoNA/MPI/IceT collectives reachable
+          under rank-dependent branches whose arms disagree
+FC006     RPC contract — forward/provider_call name strings resolve
+          to registered handlers with compatible arity; orphans
+========  ==========================================================
+
+Suppression uses the detlint grammar with the ``flowcheck`` tool name::
+
+    task = sim.spawn(loop())  # flowcheck: disable=FC001 -- daemon, killed at teardown
+
+CLI: ``python -m repro.analysis check`` (and ``make check``).
+See DESIGN.md §10 for the call-graph construction and each pass's
+abstraction and known false-negative limits.
+"""
+
+from repro.analysis.flowcheck.model import FlowFinding, Program
+from repro.analysis.flowcheck.runner import PASSES, CheckReport, run_check
+
+__all__ = ["CheckReport", "FlowFinding", "PASSES", "Program", "run_check"]

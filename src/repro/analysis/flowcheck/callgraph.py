@@ -1,0 +1,337 @@
+"""Call-graph construction: spawn edges and RPC name-string dispatch.
+
+Three edge families matter to the passes beyond plain calls (which
+:meth:`Program.resolve_call` answers directly):
+
+- **spawn edges** — ``sim.spawn(gen(...))`` / ``xstream.spawn`` /
+  ``margo.spawn`` / ``spawn_at``: the first argument names the spawned
+  coroutine; the call's *result* is the task handle FC001 tracks.
+- **registrations** — ``self.export("m", self._rpc_m)`` under a
+  provider class (name from the ``super().__init__(margo, "p")``
+  literal) and direct ``register_rpc("name", handler)`` calls.
+- **invocations** — ``provider_call(dest, "p", "m", ...)`` and
+  ``forward(dest, "name", ...)`` with literal name strings. Wrappers
+  that pass a *parameter* through to the name position (for example
+  ``PipelineHandle._call(method)`` or ``_broadcast(method)``) are
+  detected and their call sites' literals propagated, to a fixpoint,
+  so the whole ``"colza/activate_commit"`` chain resolves.
+
+``register_rpc`` with a non-literal name (the f-string inside
+``Provider.export``) is *not* recorded: the export-site extraction
+already covers that route, and recording a wildcard would disable
+unknown-name checking entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.flowcheck.model import (
+    ClassInfo,
+    FlowModule,
+    FunctionInfo,
+    Program,
+    dotted_name,
+)
+
+__all__ = ["CallGraph", "RpcInvocation", "RpcRegistration", "SpawnSite"]
+
+SPAWN_ATTRS = ("spawn", "spawn_at")
+
+
+@dataclass
+class SpawnSite:
+    """One ``spawn(...)`` call and where its handle went."""
+
+    call: ast.Call
+    fn: FunctionInfo
+    #: The spawned coroutine, when the argument is a direct call.
+    target: Optional[FunctionInfo]
+
+
+@dataclass
+class RpcRegistration:
+    """One handler published under a wire name."""
+
+    full_name: str
+    handler: Optional[FunctionInfo]
+    node: ast.AST
+    module: FlowModule
+    #: Positional inputs the dispatch layer passes the handler:
+    #: 1 for provider ``export`` (bound method), 2 for raw
+    #: ``register_rpc`` (``handler(instance, input)``).
+    expected_arity: int
+
+
+@dataclass
+class RpcInvocation:
+    """One call site that names an RPC with (resolved) literals."""
+
+    full_name: str
+    node: ast.AST
+    fn: FunctionInfo
+
+
+@dataclass
+class _Forwarder:
+    """A function passing parameters through to RPC name positions."""
+
+    fn: FunctionInfo
+    #: param name -> role: "provider" | "method" | "name"
+    roles: Dict[str, str]
+    #: role -> constant part already known at this level
+    constants: Dict[str, str] = field(default_factory=dict)
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _param_name(node: ast.AST, fn: FunctionInfo) -> Optional[str]:
+    if isinstance(node, ast.Name) and node.id in set(fn.params()):
+        return node.id
+    return None
+
+
+class CallGraph:
+    """Spawn sites plus the RPC registry/invocation tables."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.spawns: List[SpawnSite] = []
+        self.registrations: List[RpcRegistration] = []
+        self.invocations: List[RpcInvocation] = []
+        self._collect_spawns()
+        self._collect_registrations()
+        self._collect_invocations()
+
+    # ------------------------------------------------------------------
+    # spawn edges
+    def _collect_spawns(self) -> None:
+        for fn in self.program.functions.values():
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr in SPAWN_ATTRS):
+                    continue
+                gen_arg = self._spawn_generator_arg(node, func.attr)
+                target: Optional[FunctionInfo] = None
+                if isinstance(gen_arg, ast.Call):
+                    resolved = self.program.resolve_call(gen_arg, fn)
+                    if len(resolved) == 1:
+                        target = resolved[0]
+                self.spawns.append(SpawnSite(call=node, fn=fn, target=target))
+
+    @staticmethod
+    def _spawn_generator_arg(call: ast.Call, attr: str) -> Optional[ast.AST]:
+        args = call.args
+        if attr == "spawn_at":
+            return args[1] if len(args) > 1 else None
+        return args[0] if args else None
+
+    # ------------------------------------------------------------------
+    # registrations
+    def provider_name_of(self, cls: ClassInfo) -> Optional[str]:
+        """The literal provider name from ``super().__init__(m, "p")``."""
+        for owner in self.program.class_and_bases(cls):
+            init = owner.methods.get("__init__")
+            if init is None:
+                continue
+            for node in ast.walk(init.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__init__"
+                    and isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Name)
+                    and func.value.func.id == "super"
+                    and len(node.args) >= 2
+                ):
+                    name = _const_str(node.args[1])
+                    if name is not None:
+                        return name
+        return None
+
+    def _handler_target(self, node: ast.AST, fn: FunctionInfo) -> Optional[FunctionInfo]:
+        if isinstance(node, ast.Attribute) and dotted_name(node.value) == "self":
+            if fn.cls is not None:
+                return self.program.resolve_method(fn.cls, node.attr)
+        if isinstance(node, ast.Name):
+            resolved = self.program.resolve_call(
+                ast.Call(func=node, args=[], keywords=[]), fn
+            )
+            if len(resolved) == 1:
+                return resolved[0]
+        return None
+
+    def _collect_registrations(self) -> None:
+        provider_names: Dict[Tuple[str, int, str], Optional[str]] = {}
+        for fn in self.program.functions.values():
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                attr = node.func.attr
+                if attr == "export" and dotted_name(node.func.value) == "self":
+                    if fn.cls is None or len(node.args) < 2:
+                        continue
+                    method = _const_str(node.args[0])
+                    if method is None:
+                        continue
+                    key = fn.cls.key
+                    if key not in provider_names:
+                        provider_names[key] = self.provider_name_of(fn.cls)
+                    provider = provider_names[key]
+                    full = f"{provider}/{method}" if provider else f"?/{method}"
+                    self.registrations.append(
+                        RpcRegistration(
+                            full_name=full,
+                            handler=self._handler_target(node.args[1], fn),
+                            node=node,
+                            module=fn.module,
+                            expected_arity=1,
+                        )
+                    )
+                elif attr == "register_rpc" and len(node.args) >= 2:
+                    name = _const_str(node.args[0])
+                    if name is None:
+                        continue  # dynamic: covered by the export route
+                    self.registrations.append(
+                        RpcRegistration(
+                            full_name=name,
+                            handler=self._handler_target(node.args[1], fn),
+                            node=node,
+                            module=fn.module,
+                            expected_arity=2,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # invocations (with forwarder fixpoint)
+    def _collect_invocations(self) -> None:
+        forwarders: Dict[str, _Forwarder] = {}
+        for fn in self.program.functions.values():
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                attr = node.func.attr
+                if attr == "provider_call" and len(node.args) >= 3:
+                    self._record_name_parts(
+                        fn,
+                        node,
+                        provider=node.args[1],
+                        method=node.args[2],
+                        forwarders=forwarders,
+                    )
+                elif attr == "forward" and len(node.args) >= 2:
+                    self._record_name_parts(
+                        fn, node, name=node.args[1], forwarders=forwarders
+                    )
+        self._propagate_forwarders(forwarders)
+
+    def _record_name_parts(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        forwarders: Dict[str, _Forwarder],
+        provider: Optional[ast.AST] = None,
+        method: Optional[ast.AST] = None,
+        name: Optional[ast.AST] = None,
+    ) -> None:
+        roles: Dict[str, str] = {}
+        constants: Dict[str, str] = {}
+        for role, expr in (("provider", provider), ("method", method), ("name", name)):
+            if expr is None:
+                continue
+            literal = _const_str(expr)
+            if literal is not None:
+                constants[role] = literal
+                continue
+            param = _param_name(expr, fn)
+            if param is not None:
+                roles[param] = role
+            else:
+                return  # unresolvable expression: out of scope
+        full = self._full_name(constants)
+        if full is not None:
+            self.invocations.append(RpcInvocation(full, node, fn))
+        elif roles:
+            forwarders.setdefault(
+                fn.qualname, _Forwarder(fn=fn, roles=roles, constants=constants)
+            )
+
+    @staticmethod
+    def _full_name(constants: Dict[str, str]) -> Optional[str]:
+        if "name" in constants:
+            return constants["name"]
+        if "provider" in constants and "method" in constants:
+            return f"{constants['provider']}/{constants['method']}"
+        return None
+
+    def _propagate_forwarders(self, forwarders: Dict[str, _Forwarder]) -> None:
+        """Resolve literals through forwarding chains to a fixpoint."""
+        for _round in range(4):
+            new: Dict[str, _Forwarder] = {}
+            for fn in self.program.functions.values():
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for callee in self.program.resolve_call(node, fn):
+                        spec = forwarders.get(callee.qualname)
+                        if spec is None:
+                            continue
+                        self._apply_forwarder(fn, node, spec, new)
+            added = False
+            for qual, spec in new.items():
+                if qual not in forwarders:
+                    forwarders[qual] = spec
+                    added = True
+            if not added:
+                break
+
+    def _apply_forwarder(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        spec: _Forwarder,
+        new: Dict[str, _Forwarder],
+    ) -> None:
+        params = spec.fn.params()
+        bound: Dict[str, ast.AST] = {}
+        for idx, arg in enumerate(node.args):
+            if idx < len(params):
+                bound[params[idx]] = arg
+        for kw in node.keywords:
+            if kw.arg is not None:
+                bound[kw.arg] = kw.value
+        constants = dict(spec.constants)
+        roles: Dict[str, str] = {}
+        for param, role in spec.roles.items():
+            expr = bound.get(param)
+            if expr is None:
+                return
+            literal = _const_str(expr)
+            if literal is not None:
+                constants[role] = literal
+                continue
+            outer = _param_name(expr, fn)
+            if outer is None:
+                return
+            roles[outer] = role
+        full = self._full_name(constants)
+        if full is not None:
+            self.invocations.append(RpcInvocation(full, node, fn))
+        elif roles:
+            new.setdefault(
+                fn.qualname, _Forwarder(fn=fn, roles=roles, constants=constants)
+            )

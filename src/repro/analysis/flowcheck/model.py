@@ -1,0 +1,278 @@
+"""The whole-program model flowcheck's passes analyze.
+
+A :class:`Program` is every module in the analyzed file set, parsed
+once, with three indexes the passes share:
+
+- ``functions``: fully-qualified name -> :class:`FunctionInfo` for each
+  function/method (``path::Class.method`` / ``path::func``);
+- ``classes``: class name -> :class:`ClassInfo` list (name collisions
+  across modules are kept, not merged);
+- ``methods_by_name``: bare name -> every function/method so named,
+  the receiver-agnostic resolution fallback.
+
+Name resolution is deliberately textual (stdlib ``ast`` only, no type
+inference): ``self.f()`` resolves through the enclosing class and its
+textual base-class chain; ``obj.f()`` falls back to every method named
+``f`` in the program. That over-approximates call edges, which is the
+right direction for reachability questions ("is a release reachable?")
+and documented per-pass for the precision questions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.detlint import dotted_name
+from repro.analysis.suppress import SuppressionTable
+
+__all__ = [
+    "ClassInfo",
+    "FlowFinding",
+    "FlowModule",
+    "FunctionInfo",
+    "Program",
+    "dotted_name",
+    "iter_yields",
+    "receiver_of",
+]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One flowcheck rule hit at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    suppressed: bool = False
+    reason: str = ""
+
+    def render(self) -> str:
+        tail = f"  [suppressed: {self.reason}]" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.severity}] {self.message}{tail}"
+        )
+
+
+class FlowModule:
+    """One parsed module plus its flowcheck suppression table."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.rel)
+        self.suppressions = SuppressionTable("flowcheck", self.lines)
+
+
+class ClassInfo:
+    """A class definition: its methods and textual base names."""
+
+    def __init__(self, module: FlowModule, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        #: Stable identity (file + line + name) for seen-sets and memo
+        #: keys — id() would tie analysis order to allocation addresses.
+        self.key = (module.rel, node.lineno, node.name)
+        #: Base-class names as written (last dotted component).
+        self.base_names: List[str] = []
+        for base in node.bases:
+            name = dotted_name(base)
+            if name:
+                self.base_names.append(name.split(".")[-1])
+        self.methods: Dict[str, "FunctionInfo"] = {}
+
+
+class FunctionInfo:
+    """One function or method and its derived facts."""
+
+    def __init__(
+        self,
+        module: FlowModule,
+        node: ast.FunctionDef,
+        cls: Optional[ClassInfo] = None,
+    ):
+        self.module = module
+        self.node = node
+        self.cls = cls
+        self.name = node.name
+        owner = f"{cls.name}." if cls else ""
+        self.qualname = f"{module.rel}::{owner}{node.name}"
+        self.is_generator = any(True for _ in iter_yields(node))
+
+    # ------------------------------------------------------------------
+    def params(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if self.cls is not None and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def required_positional(self) -> int:
+        """Positional parameters without defaults (excluding self/cls)."""
+        args = self.node.args
+        positional = args.posonlyargs + args.args
+        required = len(positional) - len(args.defaults)
+        if self.cls is not None and positional and positional[0].arg in ("self", "cls"):
+            required -= 1
+        return max(required, 0)
+
+    def max_positional(self) -> Optional[int]:
+        """Positional capacity, or None for ``*args``."""
+        args = self.node.args
+        if args.vararg is not None:
+            return None
+        count = len(args.posonlyargs) + len(args.args)
+        if self.cls is not None and (args.posonlyargs + args.args):
+            first = (args.posonlyargs + args.args)[0].arg
+            if first in ("self", "cls"):
+                count -= 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+# ---------------------------------------------------------------------------
+# AST helpers shared by the passes
+def iter_yields(fn: ast.AST) -> Iterator[ast.AST]:
+    """Yield/YieldFrom nodes of this scope (not of nested functions)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def receiver_of(call: ast.Call) -> Optional[str]:
+    """Dotted receiver of a method call: ``a.b.acquire()`` -> ``a.b``."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    return dotted_name(call.func.value)
+
+
+def _python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class Program:
+    """Every module in the file set, parsed and indexed."""
+
+    def __init__(self, modules: List[FlowModule]):
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: Module-level functions by (module rel, name).
+        self._module_functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        for module in modules:
+            self._index_module(module)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Iterable[str], root: Optional[str] = None) -> "Program":
+        root_path = Path(root) if root else Path.cwd()
+        modules = []
+        for file_path in _python_files(Path(p) for p in paths):
+            try:
+                rel = str(file_path.resolve().relative_to(root_path.resolve()))
+            except ValueError:
+                rel = str(file_path)
+            modules.append(FlowModule(file_path, rel, file_path.read_text()))
+        return cls(modules)
+
+    # ------------------------------------------------------------------
+    def _index_module(self, module: FlowModule) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(FunctionInfo(module, node))
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(module, node)
+                self.classes.setdefault(info.name, []).append(info)
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = FunctionInfo(module, child, cls=info)
+                        info.methods[fn.name] = fn
+                        self._add_function(fn)
+                    elif isinstance(child, (ast.FunctionDef,)):  # pragma: no cover
+                        pass
+
+    def _add_function(self, fn: FunctionInfo) -> None:
+        self.functions[fn.qualname] = fn
+        self.methods_by_name.setdefault(fn.name, []).append(fn)
+        if fn.cls is None:
+            self._module_functions[(fn.module.rel, fn.name)] = fn
+
+    # ------------------------------------------------------------------
+    # resolution
+    def resolve_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        """``self.<name>`` through the textual base-class chain."""
+        seen: Set[Tuple[str, int, str]] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            if name in current.methods:
+                return current.methods[name]
+            for base_name in current.base_names:
+                stack.extend(self.classes.get(base_name, []))
+        return None
+
+    def class_and_bases(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """The class followed by its textual base chain (deduplicated)."""
+        seen: Set[Tuple[str, int, str]] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            yield current
+            for base_name in current.base_names:
+                stack.extend(self.classes.get(base_name, []))
+
+    #: Above this many same-named candidates the name is considered too
+    #: generic to resolve (edges to everything would drown the passes).
+    MAX_CANDIDATES = 12
+
+    def resolve_call(self, call: ast.Call, caller: FunctionInfo) -> List[FunctionInfo]:
+        """Callees a call expression may reach (over-approximate)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = self._module_functions.get((caller.module.rel, func.id))
+            if local is not None:
+                return [local]
+            candidates = [
+                f for f in self.methods_by_name.get(func.id, []) if f.cls is None
+            ]
+            return candidates if len(candidates) == 1 else []
+        if isinstance(func, ast.Attribute):
+            receiver = dotted_name(func.value)
+            if receiver == "self" and caller.cls is not None:
+                target = self.resolve_method(caller.cls, func.attr)
+                if target is not None:
+                    return [target]
+            candidates = [f for f in self.methods_by_name.get(func.attr, []) if f.cls]
+            if 0 < len(candidates) <= self.MAX_CANDIDATES:
+                return candidates
+        return []

@@ -1,0 +1,87 @@
+"""Pass registry and shared AST utilities for flowcheck.
+
+Each pass module registers one rule via :func:`flowpass`. A pass is a
+generator ``fn(program, graph)`` yielding :class:`Raw` findings; the
+runner turns those into :class:`~repro.analysis.flowcheck.model.FlowFinding`
+objects after consulting the per-module suppression tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.analysis.flowcheck.model import FlowModule
+
+__all__ = [
+    "PassSpec",
+    "Raw",
+    "REGISTRY",
+    "flowpass",
+    "parent_map",
+    "self_attr_name",
+]
+
+
+@dataclass
+class Raw:
+    """A pass-level finding, pre-suppression."""
+
+    module: FlowModule
+    line: int
+    col: int
+    message: str
+    severity: str
+
+
+@dataclass
+class PassSpec:
+    rule: str
+    slug: str
+    severity: str
+    fn: Callable[..., Iterator[Raw]]
+
+
+REGISTRY: List[PassSpec] = []
+
+
+def flowpass(rule: str, slug: str, severity: str = "error"):
+    """Register a pass under a rule id with its default severity."""
+
+    def decorate(fn: Callable[..., Iterator[Raw]]):
+        REGISTRY.append(PassSpec(rule=rule, slug=slug, severity=severity, fn=fn))
+        return fn
+
+    return decorate
+
+
+def parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child node -> parent node for every node under ``root``."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def self_attr_name(node: ast.AST) -> Optional[str]:
+    """``self.x`` -> ``"x"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+# Import for side effect: each module registers its pass.
+from repro.analysis.flowcheck.passes import (  # noqa: E402,F401
+    tasks,
+    events,
+    pairing,
+    locks,
+    collectives,
+    rpc,
+)

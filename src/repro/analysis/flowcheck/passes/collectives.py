@@ -1,0 +1,258 @@
+"""FC005: collective operations under rank-dependent branches.
+
+A collective (barrier, bcast, reduce, ...) only completes when every
+rank in the communicator enters it, in the same order. If a branch
+whose condition depends on the local rank performs a different
+collective *sequence* in its two arms, some ranks wait in a collective
+the others never reach: a classic SPMD deadlock.
+
+Mechanics:
+
+- **rank taint**: seeded by names ``rank``/``vrank``/``my_rank``/
+  ``comm_rank``/``myrank`` and any ``.rank`` attribute, propagated
+  through assignments to a fixpoint (so ``vrank = order.index(rank)``
+  and ``swap = vrank // 2`` are tainted).
+- **collective signature**: per statement list, the ordered tree of
+  collective-call names, recursing through single-candidate callees
+  (memoized, cycle-guarded). Loops contribute a ``loop(...)`` node,
+  branches an ``if(then, else)`` node — equality is structural.
+- **divergence**: for each ``if`` with a tainted test, the two arms'
+  signatures must be equal; additionally, if exactly one arm exits
+  early (return/raise) and collectives follow the branch in the same
+  body, the exiting arm skips them — also divergence.
+- **communicator classes** (types defining >= 3 collective method
+  names: MonaComm, MpiComm, ...) implement the collectives out of
+  point-to-point sends and legitimately branch on rank internally;
+  their methods are exempt, and recursion into them contributes just
+  the collective's name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import (
+    ClassInfo,
+    FunctionInfo,
+    Program,
+    dotted_name,
+)
+from repro.analysis.flowcheck.passes import Raw, flowpass
+
+COLLECTIVES = {
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "gatherv",
+    "allgather",
+    "allgatherv",
+    "scatter",
+    "alltoall",
+    "composite",
+}
+RANK_SEEDS = {"rank", "vrank", "my_rank", "myrank", "comm_rank"}
+
+
+def _is_communicator(cls: Optional[ClassInfo]) -> bool:
+    if cls is None:
+        return False
+    return len(COLLECTIVES & set(cls.methods)) >= 3
+
+
+# ---------------------------------------------------------------------------
+# rank taint
+def _tainted_names(fn: FunctionInfo) -> Set[str]:
+    tainted = {p for p in fn.params() if p in RANK_SEEDS}
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Name) and node.id in RANK_SEEDS:
+            tainted.add(node.id)
+    for _ in range(10):
+        grew = False
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target, value in _assignment_pairs(node):
+                if not _expr_tainted(value, tainted):
+                    continue
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name) and leaf.id not in tainted:
+                        tainted.add(leaf.id)
+                        grew = True
+        if not grew:
+            break
+    return tainted
+
+
+def _assignment_pairs(node: ast.Assign):
+    """Element-wise pairs for ``a, b = x, y``; whole-value otherwise."""
+    for target in node.targets:
+        if (
+            isinstance(target, ast.Tuple)
+            and isinstance(node.value, ast.Tuple)
+            and len(target.elts) == len(node.value.elts)
+        ):
+            yield from zip(target.elts, node.value.elts)
+        else:
+            yield target, node.value
+
+
+def _expr_tainted(expr: ast.AST, tainted: Set[str]) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in RANK_SEEDS:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# collective signatures
+class _Signatures:
+    def __init__(self, program: Program):
+        self.program = program
+        self._memo: Dict[str, Tuple] = {}
+        self._in_progress: Set[str] = set()
+
+    def of_fn(self, fn: FunctionInfo) -> Tuple:
+        if fn.qualname in self._memo:
+            return self._memo[fn.qualname]
+        if fn.qualname in self._in_progress:
+            return ()
+        self._in_progress.add(fn.qualname)
+        sig = self.of_body(list(fn.node.body), fn)[0]
+        self._in_progress.discard(fn.qualname)
+        self._memo[fn.qualname] = sig
+        return sig
+
+    def of_body(self, body: List[ast.stmt], fn: FunctionInfo) -> Tuple[Tuple, bool]:
+        """(signature, terminates) for a statement list."""
+        parts: List = []
+        terminates = False
+        for stmt in body:
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                terminates = True
+                break
+            if isinstance(stmt, ast.If):
+                then_sig, _ = self.of_body(list(stmt.body), fn)
+                else_sig, _ = self.of_body(list(stmt.orelse), fn)
+                if then_sig or else_sig:
+                    parts.append(("if", then_sig, else_sig))
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                inner, _ = self.of_body(list(stmt.body), fn)
+                if inner:
+                    parts.append(("loop", inner))
+                continue
+            if isinstance(stmt, ast.Try):
+                for field in ("body", "orelse", "finalbody"):
+                    inner, _ = self.of_body(list(getattr(stmt, field)), fn)
+                    parts.extend(inner)
+                continue
+            if isinstance(stmt, ast.With):
+                inner, _ = self.of_body(list(stmt.body), fn)
+                parts.extend(inner)
+                continue
+            parts.extend(self._calls_of(stmt, fn))
+        return tuple(parts), terminates
+
+    def _calls_of(self, stmt: ast.stmt, fn: FunctionInfo) -> List:
+        out: List = []
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (dotted_name(node.func) or "").split(".")[-1]
+            if name in COLLECTIVES:
+                out.append(("c", name))
+                continue
+            resolved = self.program.resolve_call(node, fn)
+            if len(resolved) == 1 and not _is_communicator(resolved[0].cls):
+                sub = self.of_fn(resolved[0])
+                out.extend(sub)
+        return out
+
+
+def _flatten(sig: Tuple) -> List[str]:
+    names: List[str] = []
+    for part in sig:
+        if part and part[0] == "c":
+            names.append(part[1])
+        else:
+            for sub in part[1:]:
+                names.extend(_flatten(sub))
+    return names
+
+
+def _describe(sig: Tuple) -> str:
+    names = _flatten(sig)
+    return "[" + ", ".join(names) + "]" if names else "[no collectives]"
+
+
+# ---------------------------------------------------------------------------
+def _divergences(
+    fn: FunctionInfo, signatures: _Signatures, tainted: Set[str]
+) -> Iterator[Raw]:
+    def scan(body: List[ast.stmt]) -> Iterator[Raw]:
+        for idx, stmt in enumerate(body):
+            for sub in _sub_bodies(stmt):
+                yield from scan(sub)
+            if not isinstance(stmt, ast.If):
+                continue
+            if not _expr_tainted(stmt.test, tainted):
+                continue
+            then_sig, then_term = signatures.of_body(list(stmt.body), fn)
+            else_sig, else_term = signatures.of_body(list(stmt.orelse), fn)
+            if then_sig != else_sig:
+                yield Raw(
+                    module=fn.module,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        "rank-dependent branch arms perform different "
+                        f"collective sequences: {_describe(then_sig)} vs "
+                        f"{_describe(else_sig)} — ranks taking different arms "
+                        "deadlock in the mismatched collective"
+                    ),
+                    severity="error",
+                )
+            elif then_term != else_term:
+                rest_sig, _ = signatures.of_body(list(body[idx + 1 :]), fn)
+                if _flatten(rest_sig):
+                    yield Raw(
+                        module=fn.module,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(
+                            "rank-dependent early exit skips the "
+                            f"{_describe(rest_sig)} collectives that follow: "
+                            "exiting ranks never enter them"
+                        ),
+                        severity="error",
+                    )
+
+    def _sub_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+        for field in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, field, None)
+            if sub:
+                yield list(sub)
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield list(handler.body)
+
+    yield from scan(list(fn.node.body))
+
+
+@flowpass("FC005", "collective-divergence", severity="error")
+def check_collective_divergence(
+    program: Program, graph: CallGraph
+) -> Iterator[Raw]:
+    signatures = _Signatures(program)
+    for fn in program.functions.values():
+        if _is_communicator(fn.cls):
+            continue
+        tainted = _tainted_names(fn)
+        if not tainted:
+            continue
+        yield from _divergences(fn, signatures, tainted)

@@ -1,0 +1,278 @@
+"""FC004: lock-order cycles and re-entrant acquires.
+
+Lock identity is textual: ``self.x`` acquired in a method of class C
+is the lock ``C.x``; a module-level receiver ``m`` is ``<module>:m``.
+Bare-parameter receivers are skipped (identity unknowable without
+types — a documented false-negative class).
+
+Within a function we simulate a held-set over the statement list:
+``yield R.acquire()`` and ``with R.held():`` add R, ``R.release()``
+removes it, ``yield from R.locked(gen())`` holds R for the duration of
+``gen``. Whenever lock B is taken while A is held we add an order edge
+A -> B; calls made while A is held contribute edges A -> every lock in
+the callee's *transitive acquire summary* (memoized, cycle-guarded,
+single-candidate resolution only). A cycle in the resulting order
+graph is a potential deadlock; acquiring a lock already in the held
+set is reported directly as a re-entrant acquire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import (
+    FunctionInfo,
+    Program,
+    dotted_name,
+    receiver_of,
+)
+from repro.analysis.flowcheck.passes import Raw, flowpass
+
+ACQUIRE_ATTRS = {"acquire"}
+HELD_ATTRS = {"held", "locked"}
+RELEASE_ATTRS = {"release", "unlock"}
+
+
+def _lock_id(receiver: Optional[str], fn: FunctionInfo) -> Optional[str]:
+    if not receiver:
+        return None
+    head = receiver.split(".")[0]
+    if head == "self":
+        if receiver == "self" or fn.cls is None:
+            return None
+        return f"{fn.cls.name}.{receiver.split('.', 1)[1]}"
+    if head in set(fn.params()):
+        return None
+    return f"{fn.module.rel}:{receiver}"
+
+
+class _Edges:
+    def __init__(self) -> None:
+        #: (a, b) -> (module, line) of the first witnessing site
+        self.sites: Dict[Tuple[str, str], Tuple[FunctionInfo, int]] = {}
+
+    def add(self, a: str, b: str, fn: FunctionInfo, line: int) -> None:
+        self.sites.setdefault((a, b), (fn, line))
+
+
+class _Summaries:
+    """Transitive lock-acquire sets per function (memoized)."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._memo: Dict[str, Set[str]] = {}
+        self._in_progress: Set[str] = set()
+
+    def of(self, fn: FunctionInfo) -> Set[str]:
+        if fn.qualname in self._memo:
+            return self._memo[fn.qualname]
+        if fn.qualname in self._in_progress:
+            return set()
+        self._in_progress.add(fn.qualname)
+        acquired: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ACQUIRE_ATTRS | HELD_ATTRS
+            ):
+                lock = _lock_id(receiver_of(node), fn)
+                if lock:
+                    acquired.add(lock)
+            else:
+                for callee in self._single(node, fn):
+                    acquired.update(self.of(callee))
+        self._in_progress.discard(fn.qualname)
+        self._memo[fn.qualname] = acquired
+        return acquired
+
+    def _single(self, call: ast.Call, fn: FunctionInfo) -> List[FunctionInfo]:
+        resolved = self.program.resolve_call(call, fn)
+        return resolved if len(resolved) == 1 else []
+
+
+def _acquire_in_stmt(stmt: ast.stmt, fn: FunctionInfo) -> Optional[Tuple[str, int]]:
+    """Lock taken by ``yield R.acquire()`` / ``g = R.acquire(); yield g``."""
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ACQUIRE_ATTRS
+        ):
+            lock = _lock_id(receiver_of(node), fn)
+            if lock:
+                return lock, node.lineno
+    return None
+
+
+def _locked_helper_in_stmt(
+    stmt: ast.stmt, fn: FunctionInfo
+) -> Optional[Tuple[str, int]]:
+    """``yield from R.locked(gen())`` holds R for the statement."""
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "locked"
+        ):
+            lock = _lock_id(receiver_of(node), fn)
+            if lock:
+                return lock, node.lineno
+    return None
+
+
+def _releases_in_stmt(stmt: ast.stmt, fn: FunctionInfo) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RELEASE_ATTRS
+        ):
+            lock = _lock_id(receiver_of(node), fn)
+            if lock:
+                out.add(lock)
+    return out
+
+
+def _walk_fn(
+    fn: FunctionInfo,
+    summaries: _Summaries,
+    edges: _Edges,
+    reacquires: List[Raw],
+) -> None:
+    def take(lock: str, line: int, held: List[str]) -> None:
+        if lock in held:
+            reacquires.append(
+                Raw(
+                    module=fn.module,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"lock '{lock}' acquired while already held on this "
+                        "path: self-deadlock"
+                    ),
+                    severity="error",
+                )
+            )
+            return
+        for prior in held:
+            edges.add(prior, lock, fn, line)
+        held.append(lock)
+
+    def call_edges(stmt: ast.stmt, held: List[str]) -> None:
+        if not held:
+            return
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ACQUIRE_ATTRS | HELD_ATTRS | RELEASE_ATTRS
+            ):
+                continue
+            for callee in summaries._single(node, fn):
+                for lock in sorted(summaries.of(callee)):
+                    if lock in held:
+                        continue
+                    for prior in held:
+                        edges.add(prior, lock, fn, node.lineno)
+
+    def scan(body: List[ast.stmt], held: List[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                released_at_exit: List[str] = []
+                for item in stmt.items:
+                    ctx = item.context_expr
+                    if (
+                        isinstance(ctx, ast.Call)
+                        and isinstance(ctx.func, ast.Attribute)
+                        and ctx.func.attr in HELD_ATTRS
+                    ):
+                        lock = _lock_id(receiver_of(ctx), fn)
+                        if not lock:
+                            continue
+                        # 'yield R.acquire(); with R.held():' — the lock
+                        # is already in the held set; the guard only
+                        # takes over the release.
+                        if lock not in held:
+                            take(lock, stmt.lineno, held)
+                        released_at_exit.append(lock)
+                scan(list(stmt.body), held)
+                for lock in released_at_exit:
+                    if lock in held:
+                        held.remove(lock)
+                continue
+            taken = _acquire_in_stmt(stmt, fn)
+            if taken is not None:
+                take(taken[0], taken[1], held)
+            scoped = _locked_helper_in_stmt(stmt, fn)
+            if scoped is not None and scoped[0] not in held:
+                take(scoped[0], scoped[1], held)
+                call_edges(stmt, held)
+                held.remove(scoped[0])
+            else:
+                call_edges(stmt, held)
+            for lock in _releases_in_stmt(stmt, fn):
+                if lock in held:
+                    held.remove(lock)
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if sub:
+                    scan(list(sub), held)
+            for handler in getattr(stmt, "handlers", []) or []:
+                scan(list(handler.body), held)
+
+    scan(list(fn.node.body), [])
+
+
+def _find_cycles(edges: _Edges) -> List[List[str]]:
+    graph: Dict[str, Set[str]] = {}
+    for (a, b) in edges.sites:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: List[str], seen: Set[str]) -> None:
+        for succ in sorted(graph.get(node, ())):
+            if succ == start:
+                cycle = path[:]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            elif succ not in seen and len(path) < 8:
+                seen.add(succ)
+                dfs(start, succ, path + [succ], seen)
+                seen.discard(succ)
+
+    for node in sorted(graph):
+        dfs(node, node, [node], {node})
+    return [list(c) for c in sorted(cycles)]
+
+
+@flowpass("FC004", "lock-order", severity="error")
+def check_lock_order(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    summaries = _Summaries(program)
+    edges = _Edges()
+    reacquires: List[Raw] = []
+    for fn in program.functions.values():
+        _walk_fn(fn, summaries, edges, reacquires)
+    yield from reacquires
+    for cycle in _find_cycles(edges):
+        first, second = cycle[0], cycle[1] if len(cycle) > 1 else cycle[0]
+        fn, line = edges.sites.get((first, second), (None, 0))
+        if fn is None:
+            continue
+        chain = " -> ".join(cycle + [cycle[0]])
+        yield Raw(
+            module=fn.module,
+            line=line,
+            col=0,
+            message=(
+                f"lock-order cycle {chain}: two tasks interleaving these "
+                "acquire sequences deadlock"
+            ),
+            severity="error",
+        )

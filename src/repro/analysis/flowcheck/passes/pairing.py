@@ -1,0 +1,290 @@
+"""FC003: acquire/release and register/deregister pairing.
+
+Two layers:
+
+**Grant pairing (error).** A ``yield R.acquire()`` (or
+``grant = R.acquire(); ...; yield grant``) must be matched by an
+``R.release()`` somewhere — in the same function, or anywhere in the
+program when the receiver is a ``self.``-rooted attribute (lifecycle
+locks legitimately release in a sibling method). When acquire and
+release sit in the same function, every ``yield`` between them must be
+covered by a ``try/finally`` whose finalbody releases ``R``: a kill or
+interrupt landing on an unprotected yield leaks the resource slot
+forever. ``with R.held():`` is the structurally safe form and is
+recognized as such. Receivers that are ``self`` alone (the primitive's
+own methods) or a bare parameter (the caller owns the pairing
+contract, e.g. ``Condition.wait(mutex)``) are out of scope.
+
+**Registration pairing (warning).** A class that ``export``s RPC
+handlers, or a module that calls ``register_rpc`` with a literal name,
+should have *some* ``unexport``/``deregister_rpc`` call on its
+class chain / in its module; otherwise handlers outlive shutdown and a
+late ``forward`` dispatches into a detached provider.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import (
+    FunctionInfo,
+    Program,
+    dotted_name,
+    iter_yields,
+    receiver_of,
+)
+from repro.analysis.flowcheck.passes import Raw, flowpass, parent_map
+
+RELEASE_ATTRS = {"release", "unlock"}
+DEREGISTER_ATTRS = {"deregister_rpc", "unexport"}
+
+
+def _skip_receiver(receiver: Optional[str], fn: FunctionInfo) -> bool:
+    if not receiver:
+        return True
+    head = receiver.split(".")[0]
+    if receiver == "self":
+        return True  # the primitive's own implementation
+    if head != "self" and head in set(fn.params()):
+        return True  # caller's pairing contract
+    return False
+
+
+def _release_sites(root: ast.AST, receiver: str) -> List[ast.Call]:
+    sites = []
+    for node in ast.walk(root):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RELEASE_ATTRS
+            and dotted_name(node.func.value) == receiver
+        ):
+            sites.append(node)
+    return sites
+
+
+def _program_releases(program: Program, receiver: str) -> bool:
+    return any(
+        _release_sites(fn.node, receiver)
+        for fn in program.functions.values()
+    )
+
+
+def _grant_escapes(fn: FunctionInfo, grant: str, assign: ast.Assign) -> bool:
+    """The grant variable is returned or stored outside the function."""
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if any(
+                isinstance(n, ast.Name) and n.id == grant
+                for n in ast.walk(node.value)
+            ):
+                return True
+        if isinstance(node, ast.Assign) and node is not assign:
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if any(
+                        isinstance(n, ast.Name) and n.id == grant
+                        for n in ast.walk(node.value)
+                    ):
+                        return True
+    return False
+
+
+def _acquires(fn: FunctionInfo) -> Iterator[Tuple[str, ast.AST, Optional[ast.Assign]]]:
+    """(receiver, wait-yield node, grant assign or None) per acquire."""
+    parents = parent_map(fn.node)
+    grant_assigns: Dict[str, Tuple[str, ast.Assign]] = {}
+    for node in ast.walk(fn.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+        ):
+            continue
+        receiver = receiver_of(node)
+        if _skip_receiver(receiver, fn):
+            continue
+        parent = parents.get(node)
+        if isinstance(parent, ast.Yield):
+            yield receiver, parent, None
+        elif (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            grant_assigns[parent.targets[0].id] = (receiver, parent)
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Yield)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in grant_assigns
+        ):
+            receiver, assign = grant_assigns[node.value.id]
+            yield receiver, node, assign
+
+
+def _protected_by_finally(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST], receiver: str
+) -> bool:
+    """Some ancestor try has a finalbody releasing ``receiver``."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.Try):
+            for stmt in current.finalbody:
+                if _release_sites(stmt, receiver):
+                    return True
+        current = parents.get(current)
+    return False
+
+
+def _held_receivers(root: ast.AST) -> Set[str]:
+    """Receivers guarded by ``with R.held():`` anywhere under root."""
+    out: Set[str] = set()
+    for node in ast.walk(root):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Call)
+                and isinstance(ctx.func, ast.Attribute)
+                and ctx.func.attr == "held"
+            ):
+                receiver = dotted_name(ctx.func.value)
+                if receiver:
+                    out.add(receiver)
+    return out
+
+
+def _grant_findings(fn: FunctionInfo, program: Program) -> Iterator[Raw]:
+    parents = parent_map(fn.node)
+    guarded = _held_receivers(fn.node)
+    for receiver, wait_node, assign in _acquires(fn):
+        if receiver in guarded:
+            # with R.held(): — the guard releases on exit, exception,
+            # and GeneratorExit, so the pairing is structural.
+            continue
+        local_releases = _release_sites(fn.node, receiver)
+        if not local_releases:
+            if assign is not None and _grant_escapes(
+                fn, assign.targets[0].id, assign
+            ):
+                continue  # ownership handed off
+            if receiver.startswith("self.") and _program_releases(
+                program, receiver
+            ):
+                continue  # cross-method lifecycle pairing
+            yield Raw(
+                module=fn.module,
+                line=wait_node.lineno,
+                col=wait_node.col_offset,
+                message=(
+                    f"acquire of '{receiver}' has no matching release() "
+                    "anywhere on this path: the slot leaks"
+                ),
+                severity="error",
+            )
+            continue
+        last_release = max(site.lineno for site in local_releases)
+        for y in iter_yields(fn.node):
+            if y is wait_node:
+                continue
+            if not (wait_node.lineno < y.lineno <= last_release):
+                continue
+            if _protected_by_finally(y, parents, receiver):
+                continue
+            yield Raw(
+                module=fn.module,
+                line=wait_node.lineno,
+                col=wait_node.col_offset,
+                message=(
+                    f"yield at line {y.lineno} sits between acquire and "
+                    f"release of '{receiver}' without try/finally protection: "
+                    "a kill or interrupt there leaks the slot "
+                    f"(use 'with {receiver}.held():')"
+                ),
+                severity="error",
+            )
+            break
+
+
+def _registration_findings(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    flagged_classes: Set[Tuple[str, int, str]] = set()
+    flagged_modules: Set[str] = set()
+    for reg in graph.registrations:
+        fn = _owning_fn(graph, reg)
+        if fn is None:
+            continue
+        if reg.expected_arity == 1 and fn.cls is not None:
+            key = fn.cls.key
+            if key in flagged_classes:
+                continue
+            if _chain_deregisters(program, fn):
+                flagged_classes.add(key)
+                continue
+            flagged_classes.add(key)
+            yield Raw(
+                module=reg.module,
+                line=reg.node.lineno,
+                col=reg.node.col_offset,
+                message=(
+                    f"class {fn.cls.name} exports RPC handlers but no "
+                    "unexport/deregister_rpc exists on its class chain: "
+                    "handlers outlive shutdown"
+                ),
+                severity="warning",
+            )
+        elif reg.expected_arity == 2:
+            if reg.module.rel in flagged_modules:
+                continue
+            has_dereg = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in DEREGISTER_ATTRS
+                for node in ast.walk(reg.module.tree)
+            )
+            if has_dereg:
+                flagged_modules.add(reg.module.rel)
+                continue
+            flagged_modules.add(reg.module.rel)
+            yield Raw(
+                module=reg.module,
+                line=reg.node.lineno,
+                col=reg.node.col_offset,
+                message=(
+                    f"register_rpc('{reg.full_name}') has no deregister_rpc "
+                    "anywhere in this module: the handler outlives its owner"
+                ),
+                severity="warning",
+            )
+
+
+def _owning_fn(graph: CallGraph, reg) -> Optional[FunctionInfo]:
+    for fn in graph.program.functions.values():
+        if fn.module is reg.module:
+            for node in ast.walk(fn.node):
+                if node is reg.node:
+                    return fn
+    return None
+
+
+def _chain_deregisters(program: Program, fn: FunctionInfo) -> bool:
+    for owner in program.class_and_bases(fn.cls):
+        for method in owner.methods.values():
+            for node in ast.walk(method.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in DEREGISTER_ATTRS
+                ):
+                    return True
+    return False
+
+
+@flowpass("FC003", "resource-pairing", severity="error")
+def check_resource_pairing(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    for fn in program.functions.values():
+        yield from _grant_findings(fn, program)
+    yield from _registration_findings(program, graph)

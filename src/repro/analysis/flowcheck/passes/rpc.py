@@ -1,0 +1,128 @@
+"""FC006: RPC name strings must resolve, and handlers must fit dispatch.
+
+The Mochi layers dispatch by string: ``forward(addr, "p/m", ...)`` and
+``provider_call(addr, "p", "m", ...)`` look a handler up at runtime,
+so a typo or a renamed method becomes a timeout in a chaos run instead
+of an error at review time. Using the call graph's registration and
+invocation tables (which resolve literals through one-or-more levels
+of parameter-forwarding wrappers such as ``PipelineHandle._call``):
+
+- an invocation naming an RPC nobody registers is an **error** at the
+  call site;
+- a registration no call site ever names is an **orphan** (warning) at
+  the registration site — dead protocol surface;
+- a resolved handler whose signature cannot accept what dispatch
+  passes (1 payload arg via provider ``export``, ``(instance, input)``
+  via raw ``register_rpc``) is an **error**;
+- a resolved handler that is not a generator is an **error** unless it
+  returns a call result (delegation), since the dispatch loop runs
+  handlers with ``yield from``.
+
+Limits: invocations whose name expression is neither a literal nor a
+forwarded parameter are invisible (none exist in-tree today), and
+registrations under a provider whose name literal cannot be found
+get a ``?/`` prefix and are excluded from orphan matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.flowcheck.callgraph import CallGraph, RpcRegistration
+from repro.analysis.flowcheck.model import Program
+from repro.analysis.flowcheck.passes import Raw, flowpass
+
+
+def _returns_call(fn_node: ast.AST) -> bool:
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+            return True
+    return False
+
+
+def _arity_problem(reg: RpcRegistration) -> str:
+    handler = reg.handler
+    expected = reg.expected_arity
+    if handler is None:
+        return ""
+    required = handler.required_positional()
+    capacity = handler.max_positional()
+    if required > expected:
+        return (
+            f"handler {handler.name}() requires {required} positional "
+            f"args but dispatch passes {expected}"
+        )
+    if capacity is not None and capacity < expected:
+        return (
+            f"handler {handler.name}() accepts at most {capacity} positional "
+            f"args but dispatch passes {expected}"
+        )
+    return ""
+
+
+@flowpass("FC006", "rpc-contract", severity="error")
+def check_rpc_contract(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    registered: Dict[str, List[RpcRegistration]] = {}
+    for reg in graph.registrations:
+        registered.setdefault(reg.full_name, []).append(reg)
+    invoked: Set[str] = {inv.full_name for inv in graph.invocations}
+
+    seen_unknown: Set[tuple] = set()
+    for inv in graph.invocations:
+        if inv.full_name in registered:
+            continue
+        key = (inv.fn.qualname, inv.node.lineno, inv.node.col_offset, inv.full_name)
+        if key in seen_unknown:
+            continue
+        seen_unknown.add(key)
+        yield Raw(
+            module=inv.fn.module,
+            line=inv.node.lineno,
+            col=inv.node.col_offset,
+            message=(
+                f"RPC '{inv.full_name}' is named here but no export/"
+                "register_rpc ever registers it: dispatch can only time out"
+            ),
+            severity="error",
+        )
+
+    for reg in graph.registrations:
+        if reg.full_name.startswith("?/"):
+            continue
+        if reg.full_name not in invoked:
+            yield Raw(
+                module=reg.module,
+                line=reg.node.lineno,
+                col=reg.node.col_offset,
+                message=(
+                    f"handler for '{reg.full_name}' is registered but no "
+                    "call site ever names it: dead protocol surface"
+                ),
+                severity="warning",
+            )
+        problem = _arity_problem(reg)
+        if problem:
+            yield Raw(
+                module=reg.module,
+                line=reg.node.lineno,
+                col=reg.node.col_offset,
+                message=f"'{reg.full_name}': {problem}",
+                severity="error",
+            )
+        if (
+            reg.handler is not None
+            and not reg.handler.is_generator
+            and not _returns_call(reg.handler.node)
+        ):
+            yield Raw(
+                module=reg.module,
+                line=reg.node.lineno,
+                col=reg.node.col_offset,
+                message=(
+                    f"handler {reg.handler.name}() for '{reg.full_name}' is "
+                    "not a generator: the dispatch loop drives handlers with "
+                    "'yield from'"
+                ),
+                severity="error",
+            )

@@ -1,0 +1,92 @@
+"""FC001: spawned task handles whose join()/kill() is unreachable.
+
+A ``spawn(...)`` returns a task handle. If the handle is bound to a
+local that is never mentioned again, or stored on ``self`` under an
+attribute no code ever loads, then no join/kill/interrupt site can
+reach the task: it can only end by running to completion, and a stuck
+task is invisible to its owner.
+
+Abstraction: *any* later mention of the handle counts as consumption —
+we do not require the mention to be a ``join``/``kill`` call, because
+handles routinely travel through lists into ``all_of`` combinators.
+Discarded handles (``sim.spawn(loop())`` as a bare expression
+statement) are deliberately NOT reported: that is the tree's documented
+fire-and-forget idiom, and flagging it would bury the real leaks.
+Both choices trade false negatives for a near-zero false-positive
+rate; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import Program
+from repro.analysis.flowcheck.passes import Raw, flowpass, parent_map, self_attr_name
+
+
+def _name_used_again(fn_node: ast.AST, name: str, exclude: ast.AST) -> bool:
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and node.id == name and node is not exclude:
+            return True
+    return False
+
+
+def _self_attr_loaded_anywhere(program: Program, attr: str) -> bool:
+    """Any ``self.<attr>`` load (or del) anywhere in the program."""
+    for fn in program.functions.values():
+        if fn.cls is None:
+            continue
+        for node in ast.walk(fn.node):
+            if (
+                self_attr_name(node) == attr
+                and not isinstance(node.ctx, ast.Store)
+            ):
+                return True
+    return False
+
+
+@flowpass("FC001", "task-leak", severity="warning")
+def check_task_leaks(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    parents_cache = {}
+    for site in graph.spawns:
+        fn = site.fn
+        if fn.qualname not in parents_cache:
+            parents_cache[fn.qualname] = parent_map(fn.node)
+        parents = parents_cache[fn.qualname]
+        parent = parents.get(site.call)
+        if not isinstance(parent, ast.Assign) or parent.value is not site.call:
+            # Bare-expression spawns are fire-and-forget by convention;
+            # handles nested in other expressions (append, all_of, ...)
+            # are consumed by construction.
+            continue
+        if len(parent.targets) != 1:
+            continue
+        target = parent.targets[0]
+        what = site.target.name if site.target else "task"
+        if isinstance(target, ast.Name):
+            if not _name_used_again(fn.node, target.id, exclude=target):
+                yield Raw(
+                    module=fn.module,
+                    line=site.call.lineno,
+                    col=site.call.col_offset,
+                    message=(
+                        f"task handle '{target.id}' (spawn of {what}) is never "
+                        "joined, killed, or otherwise consumed"
+                    ),
+                    severity="warning",
+                )
+        else:
+            attr = self_attr_name(target)
+            if attr is not None and not _self_attr_loaded_anywhere(program, attr):
+                yield Raw(
+                    module=fn.module,
+                    line=site.call.lineno,
+                    col=site.call.col_offset,
+                    message=(
+                        f"task handle 'self.{attr}' (spawn of {what}) is stored "
+                        "but no code ever reads it back"
+                    ),
+                    severity="warning",
+                )

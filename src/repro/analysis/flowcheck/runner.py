@@ -1,0 +1,100 @@
+"""Flowcheck runner: build the program model once, run every pass.
+
+Mirrors detlint's ``run_lint`` contract: ``run_check(paths)`` returns a
+:class:`CheckReport` whose ``ok`` is True only when every finding is
+suppressed with a reason. Reasonless ``# flowcheck: disable=...``
+comments are themselves reported as FC000, so a suppression can never
+silently rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import FlowFinding, Program
+from repro.analysis.flowcheck.passes import REGISTRY, PassSpec
+
+__all__ = ["PASSES", "CheckReport", "run_check"]
+
+#: rule id -> registered pass
+PASSES: Dict[str, PassSpec] = {spec.rule: spec for spec in REGISTRY}
+
+
+@dataclass
+class CheckReport:
+    """All findings from one flowcheck run."""
+
+    findings: List[FlowFinding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed()
+
+    def unsuppressed(self) -> List[FlowFinding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    def render(self, show_suppressed: bool = False) -> str:
+        lines = [
+            f.render()
+            for f in self.findings
+            if show_suppressed or not f.suppressed
+        ]
+        live = len(self.unsuppressed())
+        suppressed = len(self.findings) - live
+        lines.append(
+            f"flowcheck: {self.files_checked} files, {live} findings"
+            f" ({suppressed} suppressed)"
+        )
+        return "\n".join(lines)
+
+
+def run_check(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    root: Optional[str] = None,
+) -> CheckReport:
+    program = Program.load(paths, root=root)
+    graph = CallGraph(program)
+    selected = set(select) if select else None
+    report = CheckReport(files_checked=len(program.modules))
+
+    for spec in REGISTRY:
+        if selected is not None and spec.rule not in selected:
+            continue
+        for raw in spec.fn(program, graph):
+            reason = raw.module.suppressions.suppression_for(spec.rule, raw.line)
+            report.findings.append(
+                FlowFinding(
+                    rule=spec.rule,
+                    path=raw.module.rel,
+                    line=raw.line,
+                    col=raw.col,
+                    message=raw.message,
+                    severity=raw.severity,
+                    suppressed=reason is not None,
+                    reason=reason or "",
+                )
+            )
+
+    if selected is None or "FC000" in selected:
+        for module in program.modules:
+            for lineno in module.suppressions.bad_disables:
+                report.findings.append(
+                    FlowFinding(
+                        rule="FC000",
+                        path=module.rel,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            "flowcheck disable comment without a reason "
+                            "(use '-- why this is a false positive')"
+                        ),
+                        severity="error",
+                    )
+                )
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

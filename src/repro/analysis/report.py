@@ -1,0 +1,109 @@
+"""Unified SARIF-lite report across detlint and flowcheck.
+
+One JSON document for CI artifact upload: every finding from both
+analyzers, normalized to a shared shape (tool, rule id, severity,
+location, suppression state + reason). detlint findings have no
+native severity; they are all determinism hazards, so they map to
+``"error"``.
+
+::
+
+    python -m repro.analysis report --json > analysis-report.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.detlint import run_lint
+from repro.analysis.flowcheck import run_check
+
+__all__ = ["AnalysisReport", "run_report"]
+
+SCHEMA_VERSION = "sarif-lite-1"
+
+
+@dataclass
+class AnalysisReport:
+    """Normalized findings from every analyzer over one file set."""
+
+    findings: List[Dict]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not [f for f in self.findings if not f["suppressed"]]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            key = "suppressed" if finding["suppressed"] else finding["severity"]
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": SCHEMA_VERSION,
+                "tools": {
+                    "detlint": "determinism AST lint (DET rules)",
+                    "flowcheck": "interprocedural protocol/lifecycle analysis (FC rules)",
+                },
+                "files_checked": self.files_checked,
+                "ok": self.ok,
+                "counts": self.counts(),
+                "findings": self.findings,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _entry(
+    tool: str,
+    rule: str,
+    severity: str,
+    path: str,
+    line: int,
+    col: int,
+    message: str,
+    suppressed: bool,
+    reason: str,
+) -> Dict:
+    return {
+        "tool": tool,
+        "rule": rule,
+        "severity": severity,
+        "path": path,
+        "line": line,
+        "col": col,
+        "message": message,
+        "suppressed": suppressed,
+        "reason": reason,
+    }
+
+
+def run_report(
+    paths: Iterable[str], root: Optional[str] = None
+) -> AnalysisReport:
+    lint = run_lint(list(paths), root=root)
+    check = run_check(list(paths), root=root)
+    findings: List[Dict] = []
+    for f in lint.findings:
+        findings.append(
+            _entry(
+                "detlint", f.rule, "error", f.path, f.line, f.col,
+                f.message, f.suppressed, f.reason,
+            )
+        )
+    for f in check.findings:
+        findings.append(
+            _entry(
+                "flowcheck", f.rule, f.severity, f.path, f.line, f.col,
+                f.message, f.suppressed, f.reason,
+            )
+        )
+    findings.sort(key=lambda e: (e["path"], e["line"], e["tool"], e["rule"]))
+    return AnalysisReport(findings=findings, files_checked=check.files_checked)

@@ -1,0 +1,70 @@
+"""Reasoned-suppression machinery shared by detlint and flowcheck.
+
+Both analyzers use the same comment grammar, parameterized by the tool
+name::
+
+    x = risky()  # <tool>: disable=RULE1,RULE2 -- reason the rule is wrong here
+
+A whole file opts out of a rule with ``# <tool>: disable-file=RULE --
+reason`` on any line. A disable comment *without* a reason string never
+suppresses anything; the parser records it so the runner can report it
+(detlint's DET000 / flowcheck's FC000 convention).
+
+The reason string is mandatory by design: a suppression is a reviewed
+claim that the finding is a false positive (or an accepted hazard), and
+the claim has to survive ``git blame``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["SuppressionTable"]
+
+
+def _disable_re(tool: str) -> re.Pattern:
+    return re.compile(
+        rf"#\s*{re.escape(tool)}:\s*disable(?P<file>-file)?\s*=\s*"
+        r"(?P<rules>[A-Z0-9,\s]+?)"
+        r"(?:\s*--\s*(?P<reason>.+?))?\s*$"
+    )
+
+
+class SuppressionTable:
+    """Per-file suppression comments for one tool."""
+
+    def __init__(self, tool: str, lines: List[str]):
+        self.tool = tool
+        #: line -> (rule ids, reason)
+        self.line_disables: Dict[int, Tuple[Set[str], str]] = {}
+        #: rule id -> reason, applying to the whole file
+        self.file_disables: Dict[str, str] = {}
+        #: Lines carrying a disable comment with no reason string.
+        self.bad_disables: List[int] = []
+        pattern = _disable_re(tool)
+        for lineno, text in enumerate(lines, start=1):
+            if tool not in text:
+                continue
+            match = pattern.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            reason = (match.group("reason") or "").strip()
+            if not reason:
+                self.bad_disables.append(lineno)
+                continue
+            if match.group("file"):
+                for rule in rules:
+                    self.file_disables[rule] = reason
+            else:
+                self.line_disables[lineno] = (rules, reason)
+
+    def suppression_for(self, rule: str, line: int) -> Optional[str]:
+        """The reason ``rule`` is suppressed at ``line``, or None."""
+        if rule in self.file_disables:
+            return self.file_disables[rule]
+        entry = self.line_disables.get(line)
+        if entry and rule in entry[0]:
+            return entry[1]
+        return None

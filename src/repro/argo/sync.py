@@ -10,7 +10,7 @@ from collections import deque
 from typing import Any, Deque, Generator, Optional
 
 from repro.sim.kernel import Event, Simulation
-from repro.sim.resources import Resource
+from repro.sim.resources import HeldGuard, Resource
 
 __all__ = ["Barrier", "Condition", "Eventual", "Mutex"]
 
@@ -55,13 +55,14 @@ class Eventual:
 class Mutex:
     """A cooperative FIFO mutex.
 
-    Use either acquire/release::
+    Use acquire plus the :meth:`held` guard::
 
         yield mutex.acquire()
-        ...
-        mutex.release()
+        with mutex.held():
+            ...          # released on exit, exception, or task kill
 
-    or the generator helper ``yield from mutex.locked(body_gen)``.
+    bare acquire/release, or the generator helper
+    ``yield from mutex.locked(body_gen)``.
     """
 
     def __init__(self, sim: Simulation, name: str = "mutex"):
@@ -75,16 +76,24 @@ class Mutex:
         self._res.release()
 
     @property
-    def held(self) -> bool:
+    def is_held(self) -> bool:
         return self._res.in_use > 0
+
+    def held(self) -> "HeldGuard":
+        """Guard releasing this (already acquired) mutex on scope exit.
+
+        A task kill closes the owning generator, which raises
+        GeneratorExit at the current yield; the ``with`` block's exit
+        still runs, so the mutex cannot leak across yields inside the
+        block — the structural guarantee flowcheck's FC003 checks for.
+        """
+        return HeldGuard(self._res)
 
     def locked(self, body: Generator[Event, Any, Any]) -> Generator[Event, Any, Any]:
         """Run a sub-generator while holding the mutex."""
         yield self.acquire()
-        try:
+        with self.held():
             result = yield from body
-        finally:
-            self.release()
         return result
 
 
@@ -101,7 +110,7 @@ class Condition:
         self._waiters: Deque[Event] = deque()
 
     def wait(self, mutex: Mutex) -> Generator[Event, Any, None]:
-        if not mutex.held:
+        if not mutex.is_held:
             raise RuntimeError("Condition.wait requires the mutex held")
         ev = Event(self.sim, name=f"{self.name}.wait")
         self._waiters.append(ev)

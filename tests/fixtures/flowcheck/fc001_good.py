@@ -1,0 +1,29 @@
+"""FC001 negatives: consumed handles and the fire-and-forget idiom."""
+
+
+def worker(sim):
+    yield sim.timeout(1)
+
+
+def joined(sim):
+    task = sim.spawn(worker(sim))
+    yield task.join()
+
+
+def fire_and_forget(sim):
+    sim.spawn(worker(sim))  # discarded on purpose: documented idiom, quiet
+    yield sim.timeout(1)
+
+
+def collected(sim):
+    tasks = [sim.spawn(worker(sim)) for _ in range(3)]
+    yield sim.all_of([t.join() for t in tasks])
+
+
+class Owner:
+    def __init__(self, sim):
+        self._task = sim.spawn(worker(sim))
+
+    def stop(self):
+        if self._task is not None:
+            self._task.kill()

@@ -1,0 +1,21 @@
+"""FC002 positives: guaranteed hangs and double-fires."""
+
+
+def never_fires(sim):
+    ev = Event(sim)  # line 5: FC002 (waited, never fired, never escapes)
+    yield ev
+
+
+def unbound_wait(sim):
+    yield Event(sim)  # line 10: FC002 (nothing can ever fire it)
+
+
+def double_fire(ev):
+    ev.succeed(1)
+    ev.succeed(2)  # line 15: FC002 (second fire raises)
+
+
+def loop_fire(sim, ev):
+    for _ in range(3):
+        ev.succeed()  # line 20: FC002 (loop never rebinds, no .fired guard)
+        yield sim.timeout(1)

@@ -1,0 +1,45 @@
+"""FC002 negatives: escapes, nested-def fires, guarded loops."""
+
+
+def escapes(sim, registry):
+    ev = Event(sim)
+    registry.append(ev)  # escapes: someone else fires it
+    yield ev
+
+
+def returned(sim):
+    ev = Event(sim)
+    return ev
+
+
+def fired_in_callback(sim, hook):
+    ev = Event(sim)
+
+    def on_done(value):
+        ev.succeed(value)
+
+    hook(on_done)
+    yield ev
+
+
+def guarded_wakeup(waiters):
+    while waiters:
+        grant = waiters.popleft()
+        if grant.fired:
+            continue
+        grant.succeed()
+    yield None
+
+
+def per_item_fire(events):
+    for ev in events:
+        ev.succeed()
+    yield None
+
+
+def branch_arms(ev, flag):
+    if flag:
+        ev.succeed(1)
+    else:
+        ev.fail(ValueError("no"))
+    yield None

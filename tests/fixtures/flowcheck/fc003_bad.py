@@ -1,0 +1,21 @@
+"""FC003 positives: unprotected holds and missing releases."""
+
+
+class Worker:
+    def unprotected_window(self, sim):
+        yield self.core.acquire()  # line 6: FC003 (yield inside window, no try/finally)
+        yield sim.timeout(1)
+        self.core.release()
+
+    def never_released(self, sim):
+        yield self.gpu.acquire()  # line 11: FC003 (no release anywhere)
+        yield sim.timeout(1)
+
+
+class LeakyProvider:
+    def __init__(self, margo):
+        super().__init__(margo, "leaky")
+        self.export("run", self._rpc_run)  # line 18: FC003 (no unexport on chain)
+
+    def _rpc_run(self, input):
+        yield None

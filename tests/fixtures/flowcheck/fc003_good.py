@@ -1,0 +1,43 @@
+"""FC003 negatives: guarded, finally-protected, and delegated holds."""
+
+
+class Worker:
+    def guarded(self, sim):
+        yield self.core.acquire()
+        with self.core.held():
+            yield sim.timeout(1)
+
+    def finally_protected(self, sim):
+        yield self.core.acquire()
+        try:
+            yield sim.timeout(1)
+        finally:
+            self.core.release()
+
+    def split_lifecycle(self):
+        yield self.gate.acquire()
+
+    def split_teardown(self):
+        self.gate.release()
+
+    def handoff(self, sim):
+        grant = self.core.acquire()
+        self.pending = grant  # ownership transferred, not leaked
+        yield sim.timeout(0)
+
+
+def callers_contract(mutex, sim):
+    yield mutex.acquire()  # bare-parameter receiver: caller owns pairing
+    yield sim.timeout(1)
+
+
+class CleanProvider:
+    def __init__(self, margo):
+        super().__init__(margo, "clean")
+        self.export("run", self._rpc_run)
+
+    def shutdown(self):
+        self.unexport("run")
+
+    def _rpc_run(self, input):
+        yield None

@@ -1,0 +1,21 @@
+"""FC004 positives: a lock-order cycle and a re-entrant acquire."""
+
+
+class Node:
+    def forward_order(self, sim):
+        yield self.m1.acquire()
+        yield self.m2.acquire()  # line 7: edge Node.m1 -> Node.m2
+        self.m2.release()
+        self.m1.release()
+
+    def reverse_order(self, sim):
+        yield self.m2.acquire()
+        yield self.m1.acquire()  # line 13: edge Node.m2 -> Node.m1 (cycle!)
+        self.m1.release()
+        self.m2.release()
+
+    def reentrant(self, sim):
+        yield self.m3.acquire()
+        yield self.m3.acquire()  # line 19: FC004 (acquired while held)
+        self.m3.release()
+        self.m3.release()

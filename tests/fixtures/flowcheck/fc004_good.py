@@ -1,0 +1,30 @@
+"""FC004 negatives: consistent order, guard idiom, interprocedural chain."""
+
+
+class Node:
+    def one(self, sim):
+        yield self.m1.acquire()
+        yield self.m2.acquire()
+        self.m2.release()
+        self.m1.release()
+
+    def two(self, sim):
+        yield self.m1.acquire()
+        yield self.m2.acquire()  # same order as one(): no cycle
+        self.m2.release()
+        self.m1.release()
+
+    def guard_idiom(self, sim):
+        yield self.m1.acquire()
+        with self.m1.held():  # takes over the release: not a re-acquire
+            yield sim.timeout(1)
+
+    def outer(self, sim):
+        yield self.m1.acquire()
+        yield from self.inner(sim)  # edge m1 -> m2 only: consistent
+        self.m1.release()
+
+    def inner(self, sim):
+        yield self.m2.acquire()
+        yield sim.timeout(1)
+        self.m2.release()

@@ -1,0 +1,25 @@
+"""FC005 positives: rank-divergent collective sequences."""
+
+
+def mismatched_arms(comm):
+    rank = comm.rank
+    if rank == 0:  # line 6: FC005 (bcast vs barrier)
+        yield from comm.bcast(1, root=0)
+    else:
+        yield from comm.barrier()
+
+
+def early_exit(comm):
+    rank = comm.rank
+    if rank == 0:  # line 14: FC005 (rank 0 skips the barrier below)
+        return
+    yield from comm.barrier()
+
+
+def derived_rank(comm, order):
+    vrank = order.index(comm.rank)
+    swap = vrank // 2
+    if swap == 0:  # line 22: FC005 (taint flows through vrank and swap)
+        yield from comm.reduce(1, root=0)
+    else:
+        yield from comm.allreduce(1)

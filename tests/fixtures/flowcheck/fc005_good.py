@@ -1,0 +1,50 @@
+"""FC005 negatives: symmetric arms, p2p-only branches, communicators."""
+
+
+def symmetric(comm):
+    rank = comm.rank
+    if rank == 0:
+        data = load_data()
+    else:
+        data = None
+    yield from comm.bcast(data, root=0)
+
+
+def point_to_point(comm):
+    rank = comm.rank
+    if rank == 0:
+        yield from comm.send(1, dest=1)
+    else:
+        yield from comm.recv(source=0)
+
+
+def rank_independent(comm, n):
+    if n > 4:  # untainted test: arms may differ freely
+        yield from comm.barrier()
+    else:
+        yield from comm.allreduce(1)
+
+
+class MiniComm:
+    """Defines three collective methods: exempt communicator class."""
+
+    def barrier(self):
+        if self.rank == 0:
+            yield from self._fan_in()
+        else:
+            yield from self._fan_out()
+
+    def bcast(self, value, root=0):
+        if self.rank == root:
+            yield from self._fan_out()
+        else:
+            yield from self._fan_in()
+
+    def reduce(self, value, root=0):
+        yield from self._fan_in()
+
+    def _fan_in(self):
+        yield None
+
+    def _fan_out(self):
+        yield None

@@ -1,0 +1,29 @@
+"""FC006 positives: orphan handler, bad arity, non-generator, unknown name."""
+
+
+class BadProvider:
+    def __init__(self, margo):
+        super().__init__(margo, "prov")
+        self.export("good", self._rpc_good)
+        self.export("orphan", self._rpc_orphan)  # line 8: orphan (warning)
+        self.export("fat", self._rpc_fat)  # line 9: arity mismatch (error)
+        self.export("plain", self._rpc_plain)  # line 10: not a generator (error)
+
+    def _rpc_good(self, input):
+        yield None
+
+    def _rpc_orphan(self, input):
+        yield None
+
+    def _rpc_fat(self, first, second):
+        yield None
+
+    def _rpc_plain(self, input):
+        return 42
+
+
+def client(margo, dest):
+    yield from margo.provider_call(dest, "prov", "good", 1)
+    yield from margo.provider_call(dest, "prov", "fat", 1)
+    yield from margo.provider_call(dest, "prov", "plain", 1)
+    yield from margo.provider_call(dest, "prov", "missing", 1)  # line 29: unknown

@@ -1,0 +1,35 @@
+"""FC006 negatives: literal and wrapper-forwarded names all resolve."""
+
+
+class GoodProvider:
+    def __init__(self, margo):
+        super().__init__(margo, "prov2")
+        self.export("wrapped", self._rpc_wrapped)
+        self.export("direct", self._rpc_direct)
+
+    def _rpc_wrapped(self, input):
+        yield None
+
+    def _rpc_direct(self, input):
+        yield None
+
+
+class Handle:
+    """Forwards a *parameter* into the method-name slot: the call-graph
+    fixpoint propagates the literal from ``use()`` through ``_call``."""
+
+    def __init__(self, margo, server):
+        self.margo = margo
+        self.server = server
+
+    def _call(self, method, input):
+        out = yield from self.margo.provider_call(self.server, "prov2", method, input)
+        return out
+
+    def use(self):
+        value = yield from self._call("wrapped", 1)
+        return value
+
+
+def direct_client(margo, dest):
+    yield from margo.provider_call(dest, "prov2", "direct", 1)

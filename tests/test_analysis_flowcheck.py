@@ -1,0 +1,210 @@
+"""flowcheck: the protocol/lifecycle analyzer (repro.analysis.flowcheck).
+
+Each FC rule gets at least one positive (known-bad fixture, exact rule
+ids *and* line numbers asserted) and one negative (known-good fixture,
+zero findings). The fixtures under tests/fixtures/flowcheck/ are
+analysis inputs only — they are never imported or executed — and their
+line layout is load-bearing: see the README there before editing.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flowcheck import PASSES, run_check
+from repro.analysis.report import run_report
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "flowcheck"
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def check_fixture(name, select):
+    return run_check([str(FIXTURES / name)], select=select, root=str(FIXTURES))
+
+
+def check_source(tmp_path, source, select=None, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_check([str(path)], select=select, root=str(tmp_path))
+
+
+def rules_hit(report):
+    return sorted({f.rule for f in report.unsuppressed()})
+
+
+def lines_of(report, rule):
+    return sorted(f.line for f in report.unsuppressed() if f.rule == rule)
+
+
+# ---------------------------------------------------------------------------
+# FC001: task leaks
+def test_fc001_flags_dropped_and_unread_handles():
+    report = check_fixture("fc001_bad.py", select=["FC001"])
+    assert lines_of(report, "FC001") == [9, 15]
+
+
+def test_fc001_quiet_on_joined_and_killed_handles():
+    report = check_fixture("fc001_good.py", select=["FC001"])
+    assert report.ok, "\n" + report.render()
+
+
+# ---------------------------------------------------------------------------
+# FC002: event lifecycle
+def test_fc002_flags_never_fires_unbound_double_and_loop():
+    report = check_fixture("fc002_bad.py", select=["FC002"])
+    assert lines_of(report, "FC002") == [5, 10, 15, 20]
+
+
+def test_fc002_quiet_on_escapes_callbacks_and_branch_arms():
+    report = check_fixture("fc002_good.py", select=["FC002"])
+    assert report.ok, "\n" + report.render()
+
+
+# ---------------------------------------------------------------------------
+# FC003: resource pairing
+def test_fc003_flags_unprotected_window_leak_and_unpaired_export():
+    report = check_fixture("fc003_bad.py", select=["FC003"])
+    assert lines_of(report, "FC003") == [6, 11, 18]
+
+
+def test_fc003_quiet_on_held_finally_and_split_lifecycles():
+    report = check_fixture("fc003_good.py", select=["FC003"])
+    assert report.ok, "\n" + report.render()
+
+
+# ---------------------------------------------------------------------------
+# FC004: lock order
+def test_fc004_flags_cycle_and_reentrant_acquire():
+    report = check_fixture("fc004_bad.py", select=["FC004"])
+    assert lines_of(report, "FC004") == [7, 19]
+    messages = {f.line: f.message for f in report.unsuppressed()}
+    assert "cycle" in messages[7]
+    assert "held" in messages[19]
+
+
+def test_fc004_quiet_on_consistent_order_and_guard_idiom():
+    report = check_fixture("fc004_good.py", select=["FC004"])
+    assert report.ok, "\n" + report.render()
+
+
+# ---------------------------------------------------------------------------
+# FC005: collective divergence
+def test_fc005_flags_rank_dependent_divergence():
+    report = check_fixture("fc005_bad.py", select=["FC005"])
+    assert lines_of(report, "FC005") == [6, 14, 22]
+
+
+def test_fc005_quiet_on_symmetric_p2p_and_communicator_classes():
+    report = check_fixture("fc005_good.py", select=["FC005"])
+    assert report.ok, "\n" + report.render()
+
+
+# ---------------------------------------------------------------------------
+# FC006: RPC contract
+def test_fc006_flags_orphan_arity_nongen_and_unknown():
+    report = check_fixture("fc006_bad.py", select=["FC006"])
+    assert lines_of(report, "FC006") == [8, 9, 10, 29]
+    by_line = {f.line: f for f in report.unsuppressed()}
+    assert by_line[8].severity == "warning"  # orphan registration
+    assert by_line[9].severity == "error"  # arity mismatch
+    assert by_line[10].severity == "error"  # non-generator handler
+    assert by_line[29].severity == "error"  # unknown name at call site
+    assert "missing" in by_line[29].message
+
+
+def test_fc006_quiet_when_wrappers_forward_literal_names():
+    report = check_fixture("fc006_good.py", select=["FC006"])
+    assert report.ok, "\n" + report.render()
+
+
+# ---------------------------------------------------------------------------
+# suppressions (shared grammar with detlint)
+def test_line_suppression_with_reason(tmp_path):
+    report = check_source(
+        tmp_path,
+        """
+        def f(sim):
+            ev = Event(sim)
+            ev.succeed(1)
+            ev.succeed(2)  # flowcheck: disable=FC002 -- exercising the double-fire guard
+            yield ev
+        """,
+    )
+    assert report.ok, "\n" + report.render()
+    suppressed = [f for f in report.findings if f.suppressed]
+    assert len(suppressed) == 1
+    assert suppressed[0].rule == "FC002"
+    assert suppressed[0].reason == "exercising the double-fire guard"
+
+
+def test_suppression_without_reason_is_rejected(tmp_path):
+    report = check_source(
+        tmp_path,
+        """
+        def f(sim):
+            ev = Event(sim)
+            ev.succeed(1)
+            ev.succeed(2)  # flowcheck: disable=FC002
+            yield ev
+        """,
+    )
+    # The finding stays unsuppressed AND the bad comment is flagged.
+    assert "FC002" in rules_hit(report)
+    assert "FC000" in rules_hit(report)
+
+
+def test_select_limits_rules(tmp_path):
+    report = check_source(
+        tmp_path,
+        """
+        def f(sim):
+            task = sim.spawn(g(sim))
+            ev = Event(sim)
+            yield ev
+        """,
+        select=["FC001"],
+    )
+    assert rules_hit(report) == ["FC001"]
+
+
+# ---------------------------------------------------------------------------
+# registry, report, and the tree itself
+def test_pass_registry_is_complete():
+    assert sorted(PASSES) == [f"FC00{i}" for i in range(1, 7)]
+    for spec in PASSES.values():
+        assert spec.slug
+        assert spec.severity in {"error", "warning", "info"}
+
+
+def test_combined_report_covers_both_tools(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def f(sim):
+                task = sim.spawn(g(sim))
+                return time.time()
+            """
+        )
+    )
+    report = run_report([str(path)], root=str(tmp_path))
+    payload = json.loads(report.to_json())
+    assert payload["version"] == "sarif-lite-1"
+    assert payload["ok"] is False
+    tools = {f["tool"] for f in payload["findings"]}
+    assert tools == {"detlint", "flowcheck"}
+
+
+def test_tree_is_clean():
+    """The acceptance gate: zero unsuppressed flowcheck findings over
+    src/, and every suppression carries a reason."""
+    report = run_check([str(SRC)], root=str(SRC.parent))
+    assert report.ok, "\n" + report.render()
+    for finding in report.findings:
+        if finding.suppressed:
+            assert finding.reason

@@ -256,7 +256,7 @@ def test_mutex_locked_helper_releases_on_error(sim):
     sim.spawn(prober(sim, mtx, got))
     sim.run()
     assert got == [1.0]
-    assert not mtx.held
+    assert not mtx.is_held
 
 
 def test_condition_signal_wakes_one(sim):
