@@ -75,10 +75,63 @@ def main():
     recovered.write_ppm(os.path.join(OUT, "fault_tolerance_recovered.ppm"))
     print(f"wrote {OUT}/fault_tolerance_recovered.ppm")
 
+    # ------------------------------------------------------------------
+    # Round 2: with replication_factor=2 (DESIGN.md 11) the staging
+    # area itself survives a crash landing *mid-iteration* — after the
+    # blocks were staged but before the execute finished. The survivor
+    # adopts the dead member's blocks from its buddy replicas and the
+    # client re-stages nothing.
+    print("\ndeploying a replicated pipeline (replication_factor=2) ...")
+    drive(
+        sim,
+        deployment.deploy_pipeline(
+            client_margo, "render_r", "libcolza-iso.so",
+            {"script": script, "width": 128, "height": 128,
+             "replication_factor": 2},
+        ),
+    )
+    rhandle = client.distributed_pipeline_handle("render_r")
+    drive(sim, rhandle.run_resilient_iteration(1, blocks), max_time=3000)
+    healthy_r = _image_of(deployment, "render_r").copy()
+
+    core = sim.metrics.scope("core")
+    staged_before = core.counter("blocks_staged").value
+    victim = deployment.live_daemons()[-1]
+
+    def crash_after_last_stage(span):
+        # fires the instant the last block of iteration 2 landed
+        if (
+            span.name == "colza.stage"
+            and span.tags.get("pipeline") == "render_r"
+            and span.tags.get("iteration") == 2
+            and span.tags.get("block") == len(blocks) - 1
+        ):
+            sim.trace.on_end.remove(crash_after_last_stage)
+            print(f">>> killing {victim.name} after staging, before execute ...")
+            victim.crash()
+
+    sim.trace.on_end.append(crash_after_last_stage)
+    t0 = sim.now
+    view = drive(sim, rhandle.run_resilient_iteration(2, blocks), max_time=3000)
+    staged = int(core.counter("blocks_staged").value - staged_before)
+    print(
+        f"iteration 2: recovered on {len(view)} survivor(s) in "
+        f"{sim.now - t0:.1f}s — client staged {staged}/{len(blocks)} blocks, "
+        f"{int(core.counter('blocks_recovered').value)} adopted from replicas, "
+        f"{int(core.counter('restage_fallbacks').value)} restage fallbacks"
+    )
+    recovered_r = _image_of(deployment, "render_r")
+    identical = np.allclose(healthy_r.rgba, recovered_r.rgba, atol=1e-6)
+    print(f"image identical to the healthy run: {identical}")
+
 
 def _rank0_image(deployment):
+    return _image_of(deployment, "render")
+
+
+def _image_of(deployment, name):
     rank0 = min(deployment.live_daemons(), key=lambda d: d.address)
-    return rank0.provider.pipelines["render"].last_results["image"]
+    return rank0.provider.pipelines[name].last_results["image"]
 
 
 if __name__ == "__main__":

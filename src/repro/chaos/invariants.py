@@ -19,6 +19,11 @@ properties:
    double-stage).
 4. **Convergence** — once faults stop, the membership views of all
    running daemons agree again (checked by :meth:`final_check`).
+5. **No block loss** — when an iteration re-activates with recovery
+   (DESIGN §11), every block the client successfully staged is either
+   held by a live server or explicitly reported ``missing``; and with
+   fewer failures than the replication factor (``f < K``), nothing may
+   be reported missing at all.
 
 Violations accumulate as human-readable strings; :meth:`assert_ok`
 turns them into one test failure.
@@ -47,6 +52,10 @@ class InvariantMonitor:
         self.deaths_seen: List[Tuple[float, str, str]] = []
         self._watched: Set[str] = set()
         self._attached = False
+        #: Blocks the client successfully staged, per (pipeline, iter).
+        self._staged: Dict[Tuple[str, int], Set[int]] = {}
+        #: Frozen view of the last committed activate per (pipeline, iter).
+        self._views: Dict[Tuple[str, int], Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     def attach(self) -> "InvariantMonitor":
@@ -119,7 +128,24 @@ class InvariantMonitor:
         # protocol: its reads must not register as SimTSan accesses.
         with untracked(self.sim):
             if span.name == "colza.activate" and "view" in span.tags:
+                if "recovered" in span.tags:
+                    # The NoBlockLoss audit compares against the view
+                    # of the *failed* activation, so it runs before
+                    # this activate's view replaces it.
+                    self._check_no_block_loss(span)
                 self._check_frozen_agreement(span)
+                self._views[(span.tags["pipeline"], span.tags["iteration"])] = tuple(
+                    span.tags["view"].split(";")
+                )
+            elif span.name == "colza.stage":
+                key = (span.tags.get("pipeline"), span.tags.get("iteration"))
+                block_id = span.tags.get("block")
+                if key[0] is not None and block_id is not None:
+                    self._staged.setdefault(key, set()).add(block_id)
+            elif span.name == "colza.deactivate":
+                key = (span.tags.get("pipeline"), span.tags.get("iteration"))
+                self._staged.pop(key, None)
+                self._views.pop(key, None)
             elif span.name == "colza.execute":
                 self._check_block_ownership(
                     span.tags.get("pipeline"), span.tags.get("iteration")
@@ -178,6 +204,48 @@ class InvariantMonitor:
                         f"{pipeline}#{iteration} owned by {owners} servers "
                         f"in view {view}"
                     )
+
+    def _check_no_block_loss(self, span) -> None:
+        """Invariant 5: recovery accounts for every staged block."""
+        pipeline = span.tags["pipeline"]
+        iteration = span.tags["iteration"]
+        key = (pipeline, iteration)
+        expected = set(self._staged.get(key, ()))
+        if not expected:
+            return
+        missing = set(span.tags.get("missing_blocks") or ())
+        present: Set[int] = set()
+        factor = 1
+        for daemon in self.deployment.live_daemons():
+            backend = daemon.provider.pipelines.get(pipeline)
+            if backend is None:
+                continue
+            factor = max(factor, backend.replication_factor)
+            for block in backend.staged.get(iteration, []):
+                present.add(block.block_id)
+        lost = sorted(expected - present - missing)
+        if lost:
+            self.violations.append(
+                f"t={self.sim.now:.2f}: blocks {lost} of {pipeline}#{iteration} "
+                f"lost after recovery (neither held by a live server nor "
+                f"reported missing)"
+            )
+        if missing:
+            prev_view = self._views.get(key)
+            if prev_view is None:
+                return
+            failed = [
+                addr
+                for addr in prev_view
+                if (d := self._daemon_by_address(addr)) is None or not d.running
+            ]
+            if len(failed) < factor:
+                self.violations.append(
+                    f"t={self.sim.now:.2f}: recovery of {pipeline}#{iteration} "
+                    f"reported blocks {sorted(missing)} missing although only "
+                    f"f={len(failed)} of the view failed with K={factor} "
+                    f"(replicas should have covered it)"
+                )
 
     # ------------------------------------------------------------------
     def final_check(self) -> List[str]:

@@ -38,6 +38,7 @@ from repro.chaos.faults import (
     Partition,
     RdmaFault,
     SlowFault,
+    name_of,
 )
 from repro.chaos.invariants import InvariantMonitor
 import repro.core.pipelines  # noqa: F401  (registers the pipeline libraries)
@@ -133,6 +134,7 @@ def build_stack(
     data_timeout: Optional[float] = 6.0,
     control_timeout: float = 2.0,
     perturb_seed: Optional[int] = None,
+    procs_per_node: int = 1,
 ) -> ChaosContext:
     """A booted, converged Colza stack with an invariant monitor attached.
 
@@ -140,12 +142,21 @@ def build_stack(
     same-timestamp tie-breaking (see :mod:`repro.analysis.fuzz`); it
     defaults to whatever :class:`repro.sim.perturbed_ties` context is
     in force, so fuzzed re-runs need no parameter threading.
+
+    ``procs_per_node`` co-locates daemons on nodes (failure domains) —
+    node-failure scenarios crash all daemons of one node and rely on
+    replica placement having avoided it.
     """
     sim = Simulation(seed=seed, perturb_seed=perturb_seed)
     deployment = Deployment(sim, swim_config=swim or _fast_swim())
-    drive(sim, deployment.start_servers(n_servers), max_time=300)
+    drive(
+        sim,
+        deployment.start_servers(n_servers, procs_per_node=procs_per_node),
+        max_time=300,
+    )
     run_until(sim, deployment.converged, max_time=300)
     margo, client = deployment.make_client(node_index=40, name=CLIENT)
+    client.CONTROL_TIMEOUT = control_timeout
     drive(sim, client.connect())
     config = dict(config or {})
     if library != STATS and "script" not in config:
@@ -456,6 +467,189 @@ def scenario_crash_then_join(seed: int = 0) -> ScenarioResult:
     run_until(sim, ctx.deployment.converged, max_time=60)
     sizes += drive(sim, _workload(ctx, iterations=1, first=3), max_time=600)
     return _finish(ctx, {"view_sizes": sizes, "final_members": len(ctx.deployment.addresses())})
+
+
+# ---------------------------------------------------------------------------
+# replication & recovery (DESIGN §11; stats backend tuned so one
+# 64 KiB block takes ~1.6 s of execute — crashes at +1.0 land after
+# staging completed and inside the execute, yet a survivor that
+# adopted orphans still finishes 2-3 blocks within data_timeout)
+REPLICATED = {"replication_factor": 2, "bytes_per_second": 4e4}
+
+
+def _core_counters(ctx) -> Dict[str, int]:
+    core = ctx.sim.metrics.scope("core")
+    return {
+        name: core.counter(name).value
+        for name in (
+            "blocks_staged",
+            "blocks_replicated",
+            "blocks_recovered",
+            "restage_fallbacks",
+        )
+    }
+
+
+@scenario
+def scenario_replicated_crash_owner_mid_iteration(seed: int = 0) -> ScenarioResult:
+    """K=2, one owner dies mid-iteration: the retry must rebuild the
+    block distribution from replicas with ZERO client re-stages."""
+    ctx = build_stack(seed, n_servers=4, config=dict(REPLICATED))
+    sim = ctx.sim
+    drive(sim, _workload(ctx, iterations=1, blocks=4), max_time=600)
+    before = _core_counters(ctx)
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=sim.now + 1.0, server=victim),)))
+    sizes = drive(
+        sim, _workload(ctx, iterations=1, blocks=4, first=2, attempts=8),
+        max_time=600,
+    )
+    after = _core_counters(ctx)
+    staged_delta = after["blocks_staged"] - before["blocks_staged"]
+    recovered = after["blocks_recovered"] - before["blocks_recovered"]
+    fallbacks = after["restage_fallbacks"] - before["restage_fallbacks"]
+    if staged_delta != 4:
+        ctx.monitor.violations.append(
+            f"client re-staged during recovery: blocks_staged delta "
+            f"{staged_delta} != 4"
+        )
+    if recovered < 1:
+        ctx.monitor.violations.append(
+            "no blocks recovered from replicas (crash offset mistimed?)"
+        )
+    if fallbacks != 0:
+        ctx.monitor.violations.append(
+            f"unexpected restage fallback with f=1 < K=2 ({fallbacks})"
+        )
+    return _finish(ctx, {"view_sizes": sizes, "staged_delta": staged_delta,
+                         "recovered": recovered, "fallbacks": fallbacks})
+
+
+@scenario
+def scenario_replicated_crash_during_recovery(seed: int = 0) -> ScenarioResult:
+    """A second member dies while the first crash's recovery is still
+    in flight. The epoch guard and the span-end semantics of the
+    NoBlockLoss audit must keep every invariant green; whether the
+    outcome is a second recovery or a legitimate fallback depends on
+    how far re-replication got (both are recorded in info)."""
+    ctx = build_stack(seed, n_servers=4, config=dict(REPLICATED))
+    sim = ctx.sim
+    drive(sim, _workload(ctx, iterations=1, blocks=4), max_time=600)
+    before = _core_counters(ctx)
+    first_victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=sim.now + 1.0, server=first_victim),)))
+    second_victim = ctx.servers[-2]
+    armed = []
+
+    def second_crash():
+        deadline = sim.now + 120.0
+        while sim.trace.counters.get("colza.block_recovered", 0) < 1:
+            if sim.now >= deadline:
+                return
+            yield sim.timeout(0.05)
+        ctx.monitor.note_failure(second_victim)
+        daemon = next(d for d in ctx.deployment.daemons if d.name == second_victim)
+        if daemon.running:
+            daemon.crash()
+            armed.append(sim.now)
+
+    sim.spawn(second_crash(), name="chaos-crash-during-recovery")
+    sizes = drive(
+        sim, _workload(ctx, iterations=1, blocks=4, first=2, attempts=10),
+        max_time=900,
+    )
+    after = _core_counters(ctx)
+    recovered = after["blocks_recovered"] - before["blocks_recovered"]
+    if not armed:
+        ctx.monitor.violations.append(
+            "second crash never fired: recovery never adopted a block"
+        )
+    if recovered < 1:
+        ctx.monitor.violations.append("no blocks recovered from replicas")
+    return _finish(ctx, {
+        "view_sizes": sizes, "second_crash_at": armed,
+        "recovered": recovered,
+        "fallbacks": after["restage_fallbacks"] - before["restage_fallbacks"],
+    })
+
+
+@scenario
+def scenario_replicated_owner_and_buddy_crash(seed: int = 0) -> ScenarioResult:
+    """Both copies of block 0 die (f = K = 2): recovery must report the
+    block missing and the client must provably fall back to one full
+    re-stage — not hang, and not execute on a partial block set."""
+    from repro.core.replication import replica_buddies
+
+    ctx = build_stack(seed, n_servers=4, config=dict(REPLICATED))
+    sim = ctx.sim
+    drive(sim, _workload(ctx, iterations=1, blocks=4), max_time=600)
+    before = _core_counters(ctx)
+    view = sorted(ctx.deployment.addresses())
+    owner = view[0]  # block_id_mod: block 0 -> first member of the view
+    buddy = replica_buddies("pipe", 2, 0, owner, view, 2)[0]
+    ctx.arm(FaultPlan(tuple(
+        CrashFault(at=sim.now + 1.0, server=name_of(v)) for v in (owner, buddy)
+    )))
+    sizes = drive(
+        sim, _workload(ctx, iterations=1, blocks=4, first=2, attempts=10),
+        max_time=900,
+    )
+    after = _core_counters(ctx)
+    staged_delta = after["blocks_staged"] - before["blocks_staged"]
+    fallbacks = after["restage_fallbacks"] - before["restage_fallbacks"]
+    if fallbacks != 1:
+        ctx.monitor.violations.append(
+            f"owner+buddy double crash must force exactly one restage "
+            f"fallback, got {fallbacks}"
+        )
+    if staged_delta != 8:
+        ctx.monitor.violations.append(
+            f"full re-stage expected (4 original + 4 fallback), "
+            f"blocks_staged delta was {staged_delta}"
+        )
+    return _finish(ctx, {"view_sizes": sizes, "staged_delta": staged_delta,
+                         "fallbacks": fallbacks})
+
+
+@scenario
+def scenario_replicated_node_failure(seed: int = 0) -> ScenarioResult:
+    """Two daemons share each node; node 0 dies whole. Failure-domain-
+    aware placement must have pushed every replica off-node, so both
+    orphaned blocks recover without any client re-stage."""
+    ctx = build_stack(
+        seed, n_servers=4, procs_per_node=2, config=dict(REPLICATED)
+    )
+    sim = ctx.sim
+    drive(sim, _workload(ctx, iterations=1, blocks=4), max_time=600)
+    before = _core_counters(ctx)
+    node0 = [d.name for d in ctx.deployment.daemons[:2]]
+    ctx.arm(FaultPlan(tuple(
+        CrashFault(at=sim.now + 1.0, server=v) for v in node0
+    )))
+    sizes = drive(
+        sim, _workload(ctx, iterations=1, blocks=4, first=2, attempts=10),
+        max_time=900,
+    )
+    after = _core_counters(ctx)
+    staged_delta = after["blocks_staged"] - before["blocks_staged"]
+    recovered = after["blocks_recovered"] - before["blocks_recovered"]
+    fallbacks = after["restage_fallbacks"] - before["restage_fallbacks"]
+    if staged_delta != 4:
+        ctx.monitor.violations.append(
+            f"client re-staged after node failure: delta {staged_delta} != 4"
+        )
+    if recovered < 2:
+        ctx.monitor.violations.append(
+            f"both node-0 blocks must come back from off-node replicas, "
+            f"recovered only {recovered}"
+        )
+    if fallbacks != 0:
+        ctx.monitor.violations.append(
+            f"node failure with off-node replicas must not fall back "
+            f"({fallbacks})"
+        )
+    return _finish(ctx, {"view_sizes": sizes, "staged_delta": staged_delta,
+                         "recovered": recovered, "fallbacks": fallbacks})
 
 
 # ---------------------------------------------------------------------------

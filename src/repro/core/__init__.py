@@ -26,6 +26,7 @@ from repro.core.client import ColzaClient, DistributedPipelineHandle, PipelineHa
 from repro.core.admin import ColzaAdmin
 from repro.core.daemon import ColzaDaemon, Deployment
 from repro.core.provider import ColzaProvider
+from repro.core.replication import ReplicaStore, block_owner, replica_buddies
 
 __all__ = [
     "Backend",
@@ -36,6 +37,9 @@ __all__ = [
     "Deployment",
     "DistributedPipelineHandle",
     "PipelineHandle",
+    "ReplicaStore",
+    "block_owner",
     "create_backend",
     "register_backend",
+    "replica_buddies",
 ]

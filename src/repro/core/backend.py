@@ -54,7 +54,16 @@ class Backend:
         yield  # pragma: no cover
 
     def stage(self, iteration: int, block: StagedBlock) -> Generator:
-        self.staged.setdefault(iteration, []).append(block)
+        # Idempotent per block id: a client whose stage RPC timed out
+        # after landing may re-send, and recovery may re-adopt a block
+        # a late duplicate already delivered. Last write wins.
+        held = self.staged.setdefault(iteration, [])
+        for i, existing in enumerate(held):
+            if existing.block_id == block.block_id:
+                held[i] = block
+                break
+        else:
+            held.append(block)
         return None
         yield  # pragma: no cover
 
@@ -92,8 +101,18 @@ class Backend:
         raise NotImplementedError(f"pipeline {self.name!r} is not stateful")
 
     # ------------------------------------------------------------------
+    @property
+    def replication_factor(self) -> int:
+        """Total copies kept of each staged block (1 = no replication)."""
+        return int(self.config.get("replication_factor", 1))
+
     def blocks(self, iteration: int) -> List[StagedBlock]:
         return sorted(self.staged.get(iteration, []), key=lambda b: b.block_id)
+
+    def discard(self, iteration: int) -> None:
+        """Drop staged data for one iteration without running the
+        deactivate generator (used when purging a stale activation)."""
+        self.staged.pop(iteration, None)
 
 
 _REGISTRY: Dict[str, Callable[..., Backend]] = {}

@@ -33,6 +33,12 @@ __all__ = ["ColzaClient", "DistributedPipelineHandle", "PipelineHandle"]
 class ColzaClient:
     """A connection to the staging area from one simulation process."""
 
+    #: Deadline for the per-candidate ``get_view`` probe in
+    #: :meth:`connect`. Class-level policy so chaos scenarios and
+    #: slow-fabric configs tune it in one place (instances may also
+    #: override it per-connection).
+    CONTROL_TIMEOUT = 1.0
+
     def __init__(self, margo: MargoInstance, group_file: GroupFile):
         self.margo = margo
         self.group_file = group_file
@@ -45,7 +51,7 @@ class ColzaClient:
         for candidate in self.group_file.candidates():
             try:
                 view = yield from self.margo.provider_call(
-                    candidate, "colza", "get_view", timeout=1.0
+                    candidate, "colza", "get_view", timeout=self.CONTROL_TIMEOUT
                 )
             except RpcError as err:
                 last_error = err
@@ -135,6 +141,12 @@ class DistributedPipelineHandle:
     #: Deadline for 2PC/control RPCs — a crashed member must not hang
     #: the protocol (fault tolerance, the paper's future work (1)).
     CONTROL_TIMEOUT = 5.0
+    #: (base, cap) seconds for the capped exponential backoff between
+    #: activate attempts (view churn settles within ~one SWIM period)…
+    ACTIVATE_BACKOFF = (0.05, 0.8)
+    #: …and between whole-iteration retries (SWIM must detect the dead
+    #: member and views must reconverge, which takes longer).
+    RETRY_BACKOFF = (0.4, 3.0)
 
     def __init__(self, client: ColzaClient, name: str, policy: str = "block_id_mod"):
         self.client = client
@@ -142,6 +154,9 @@ class DistributedPipelineHandle:
         self.policy = get_policy(policy)
         #: The frozen view agreed at the last successful activate.
         self.frozen_view: Tuple[Address, ...] = ()
+        #: Merged per-server recovery report from the last
+        #: ``activate(recover=True)`` (see :meth:`activate`).
+        self.last_recovery: Optional[Dict[str, Any]] = None
         #: Optional deadlines for the data plane. ``stage_timeout``
         #: bounds each stage RPC, ``data_timeout`` bounds execute /
         #: deactivate broadcasts. ``None`` (the default) keeps the
@@ -155,6 +170,18 @@ class DistributedPipelineHandle:
     @property
     def margo(self) -> MargoInstance:
         return self.client.margo
+
+    def _backoff(self, attempt: int, base: float, cap: float) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        The jitter stream is named after this client's endpoint, so
+        two clients retrying the same failure de-synchronize instead
+        of hammering the servers in lock-step — yet every pause is a
+        pure function of ``(root_seed, client name, draw index)`` and
+        replays bit-identically under a pinned seed.
+        """
+        rng = self.margo.sim.rng.stream(f"colza.backoff.{self.margo.name}")
+        return min(cap, base * (2.0 ** attempt)) * float(rng.uniform(0.5, 1.0))
 
     def _broadcast(
         self,
@@ -205,12 +232,30 @@ class DistributedPipelineHandle:
         return [results[s] for s in servers]
 
     # ------------------------------------------------------------------
-    def activate(self, iteration: int) -> Generator:
-        """2PC activate: agree on a frozen view, then commit everywhere."""
+    def activate(
+        self,
+        iteration: int,
+        recover: bool = False,
+        expected: Sequence[int] = (),
+    ) -> Generator:
+        """2PC activate: agree on a frozen view, then commit everywhere.
+
+        With ``recover=True`` the commit asks every member to run the
+        replica-recovery phase (DESIGN §11) over data kept from a
+        previous failed attempt, before the backend's activate;
+        ``expected`` carries the block ids the client staged, so a
+        block whose owner and replicas ALL died still gets reported
+        instead of silently vanishing. The merged per-server report
+        lands in :attr:`last_recovery`: ``present`` (block ids already
+        staged somewhere — no client re-stage needed), ``recovered``
+        (blocks adopted from replicas), ``missing`` (orphans with no
+        surviving replica — the caller must fall back to re-staging).
+        """
         if not self.client.view:
             yield from self.client.connect()
         sim = self.margo.sim
         span = sim.trace.begin("colza.activate", pipeline=self.name, iteration=iteration)
+        self.last_recovery = None
         proposed = tuple(sorted(self.client.view))
         for attempt in range(self.MAX_ACTIVATE_RETRIES):
             payload = {
@@ -239,16 +284,39 @@ class DistributedPipelineHandle:
             if all(v["vote"] == "yes" for v in votes):
                 self.frozen_view = proposed
                 self.client.view = list(proposed)
-                yield from self._broadcast(
+                # Recovery commits move block payloads between servers
+                # (RDMA pulls), so they get a data-plane budget, not
+                # the control-plane one.
+                reports = yield from self._broadcast(
                     "activate_commit",
-                    {"pipeline": self.name, "iteration": iteration},
-                    timeout=self.CONTROL_TIMEOUT,
+                    {
+                        "pipeline": self.name,
+                        "iteration": iteration,
+                        "recover": recover,
+                        "expected": sorted(expected),
+                    },
+                    timeout=self.data_timeout if recover else self.CONTROL_TIMEOUT,
                 )
-                sim.trace.end(
-                    span,
-                    attempts=attempt + 1,
-                    view=";".join(str(a) for a in self.frozen_view),
-                )
+                tags = {
+                    "attempts": attempt + 1,
+                    "view": ";".join(str(a) for a in self.frozen_view),
+                }
+                if recover:
+                    present: set = set()
+                    missing: set = set()
+                    recovered = 0
+                    for report in reports:
+                        present.update(report.get("held", ()))
+                        missing.update(report.get("missing", ()))
+                        recovered += report.get("recovered", 0)
+                    self.last_recovery = {
+                        "present": sorted(present),
+                        "missing": sorted(missing),
+                        "recovered": recovered,
+                    }
+                    tags["recovered"] = recovered
+                    tags["missing_blocks"] = sorted(missing)
+                sim.trace.end(span, **tags)
                 return list(self.frozen_view)
             # Abort the prepared servers, adopt a dissenting view, retry.
             self.frozen_view = proposed
@@ -269,7 +337,7 @@ class DistributedPipelineHandle:
                 proposed = tuple(a for a in proposed if a not in dead)
                 if not proposed:
                     raise RpcError("activate: no reachable staging servers")
-            yield sim.timeout(0.05 * (attempt + 1))
+            yield sim.timeout(self._backoff(attempt, *self.ACTIVATE_BACKOFF))
             # Re-read a fresh view occasionally in case of churn.
             if attempt % 5 == 4:
                 yield from self.client.refresh_view()
@@ -288,7 +356,9 @@ class DistributedPipelineHandle:
         if not self.frozen_view:
             raise RuntimeError("stage before activate")
         sim = self.margo.sim
-        span = sim.trace.begin("colza.stage", pipeline=self.name, iteration=iteration)
+        span = sim.trace.begin(
+            "colza.stage", pipeline=self.name, iteration=iteration, block=block_id
+        )
         server = self.policy(block_id, metadata or {}, list(self.frozen_view))
         handle = self.margo.expose(payload)
         result = yield from self.margo.provider_call(
@@ -332,17 +402,21 @@ class DistributedPipelineHandle:
         sim.trace.end(span)
         return results
 
-    def abort(self, iteration: int) -> Generator:
+    def abort(self, iteration: int, keep_data: bool = False) -> Generator:
         """Best-effort teardown of a failed iteration.
 
         Sends ``deactivate`` to every frozen-view member, tolerating
         unreachable ones, then drops the frozen view. Used for fault
         recovery: after an execute fails because a member died, abort
         the iteration, refresh the view, and re-run it.
+
+        ``keep_data=True`` ends the activation epoch but leaves staged
+        blocks and replicas in place, so the re-activation can recover
+        them instead of the client re-staging (DESIGN §11).
         """
         results = yield from self._broadcast(
             "deactivate",
-            {"pipeline": self.name, "iteration": iteration},
+            {"pipeline": self.name, "iteration": iteration, "keep_data": keep_data},
             timeout=self.CONTROL_TIMEOUT,
             tolerate_errors=True,
         )
@@ -357,10 +431,20 @@ class DistributedPipelineHandle:
     ) -> Generator:
         """activate → stage → execute → deactivate, retrying the whole
         iteration if a staging server dies mid-flight (the paper's
-        future-work fault tolerance, built from the existing pieces)."""
+        future-work fault tolerance, built from the existing pieces).
+
+        A failed attempt aborts with ``keep_data``, so the retry's
+        ``activate(recover=True)`` can rebuild the block distribution
+        from surviving primaries and replicas: with
+        ``replication_factor=K`` and fewer than ``K`` failures the
+        client re-stages **nothing**. Only blocks recovery reports
+        ``missing`` force the full re-stage fallback (counted in
+        ``core.restage_fallbacks``)."""
         sim = self.margo.sim
         core = sim.metrics.scope("core")
         last_error: Optional[Exception] = None
+        #: Block ids the servers already hold (confirmed by recovery).
+        staged: set = set()
         for attempt in range(max_attempts):
             span = sim.trace.begin(
                 "colza.iteration",
@@ -369,9 +453,29 @@ class DistributedPipelineHandle:
                 attempt=attempt,
             )
             try:
-                view = yield from self.activate(iteration)
+                recover = bool(staged)
+                view = yield from self.activate(
+                    iteration, recover=recover, expected=sorted(staged)
+                )
+                if recover:
+                    report = self.last_recovery or {}
+                    missing = report.get("missing", [])
+                    if missing:
+                        # Replicas were insufficient (f >= K for these
+                        # blocks): fall back to a full re-stage, and
+                        # say which blocks forced it.
+                        core.counter("restage_fallbacks").inc()
+                        sim.trace.add("colza.restage_fallback")
+                        staged.clear()
+                        yield from self.abort(iteration)
+                        view = yield from self.activate(iteration)
+                    else:
+                        staged = set(report.get("present", ()))
                 for block_id, payload in blocks:
+                    if block_id in staged:
+                        continue
                     yield from self.stage(iteration, block_id, payload)
+                    staged.add(block_id)
                 yield from self.execute(iteration)
                 yield from self.deactivate(iteration)
                 sim.trace.end(span, outcome="ok")
@@ -379,17 +483,24 @@ class DistributedPipelineHandle:
                 return view
             except RpcError as err:
                 last_error = err
-                sim.trace.end(span, outcome="retry", error=type(err).__name__)
+                exhausted = attempt + 1 >= max_attempts
+                sim.trace.end(
+                    span,
+                    outcome="exhausted" if exhausted else "retry",
+                    error=type(err).__name__,
+                )
                 core.counter("iteration_retries").inc()
-                yield from self.abort(iteration)
-                yield self.margo.sim.timeout(1.0)
+                yield from self.abort(iteration, keep_data=True)
+                if exhausted:
+                    break
+                yield sim.timeout(self._backoff(attempt, *self.RETRY_BACKOFF))
                 try:
                     yield from self.client.refresh_view()
                 except RpcError:
                     pass
         raise RpcError(
             f"iteration {iteration} failed after {max_attempts} attempts: {last_error}"
-        )
+        ) from last_error
 
     # ------------------------------------------------------------------
     # non-blocking variants

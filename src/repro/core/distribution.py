@@ -46,5 +46,23 @@ def _hash_block(block_id: int, _metadata: Dict[str, Any], servers: List[Address]
     return servers[int.from_bytes(digest[:4], "little") % len(servers)]
 
 
+def _rendezvous(block_id: int, metadata: Dict[str, Any], servers: List[Address]) -> Address:
+    """Highest-random-weight placement (minimal disruption policy).
+
+    Unlike ``block_id_mod``, a member joining or leaving only moves the
+    blocks that member wins/loses — every other block keeps its server.
+    Uses the same weight function as replica placement (DESIGN §11), so
+    ``stage`` targets and recovery's orphan re-ownership agree. The
+    pipeline name (when present in metadata) joins the key so two
+    pipelines spread their blocks differently.
+    """
+    from repro.core.replication import placement_rank
+
+    pipeline = str(metadata.get("pipeline", ""))
+    key = f"{pipeline}#{block_id}"
+    return max(servers, key=lambda s: (placement_rank(key, s), str(s)))
+
+
 register_policy("block_id_mod", _block_id_mod)
 register_policy("hash", _hash_block)
+register_policy("rendezvous", _rendezvous)

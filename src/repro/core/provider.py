@@ -19,6 +19,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.analysis.simtsan import Shared
 from repro.core.backend import Backend, StagedBlock, create_backend
+from repro.core.replication import ReplicaStore, recover_iteration, replicate_block
 from repro.margo import MargoInstance, Provider
 from repro.na.address import Address
 from repro.na.payload import MemoryHandle
@@ -41,6 +42,15 @@ def mona_address_of(margo_addr: Address) -> Address:
 
 class ColzaProvider(Provider):
     """Per-process Colza service."""
+
+    #: Budget for forwarding one block to a buddy replica (an RDMA
+    #: pull on the buddy's side, so sized like a data-plane transfer).
+    REPLICATE_TIMEOUT = 5.0
+    #: Budget for one inventory / fetch_block exchange during the
+    #: recovery phase of a re-activation. Peers that were in the
+    #: agreed view are alive (SWIM evicted the dead before prepare
+    #: succeeded), so this only bounds a crash *during* recovery.
+    RECOVERY_TIMEOUT = 2.0
 
     def __init__(self, margo: MargoInstance, agent: SSGAgent, mona_instance):
         super().__init__(margo, "colza")
@@ -65,6 +75,8 @@ class ColzaProvider(Provider):
         self._prepared: Dict[Tuple[str, int], Tuple[Address, ...]] = Shared(
             sim=margo.sim, label=f"colza.prepared@{addr}"
         )
+        #: Buddy copies of other members' staged blocks (DESIGN §11).
+        self.replicas = ReplicaStore(sim=margo.sim, label=f"colza.replicas@{addr}")
         #: Leave was requested while frozen; honored at deactivate.
         self._leave_deferred = False
         self.leaving = False
@@ -83,6 +95,9 @@ class ColzaProvider(Provider):
         self.export("execute", self._rpc_execute)
         self.export("deactivate", self._rpc_deactivate)
         self.export("get_view", self._rpc_get_view)
+        self.export("replicate", self._rpc_replicate)
+        self.export("inventory", self._rpc_inventory)
+        self.export("fetch_block", self._rpc_fetch_block)
 
         # React to membership changes (the paper's registered callbacks).
         agent.observer = self._on_membership_change
@@ -128,6 +143,7 @@ class ColzaProvider(Provider):
         backend = self.pipelines.pop(name, None)
         if backend is not None:
             backend.destroy()
+            self.replicas.drop_pipeline(name)
 
     def request_leave(self) -> bool:
         """Ask this server to leave; deferred while frozen.
@@ -168,9 +184,26 @@ class ColzaProvider(Provider):
             raise RuntimeError(f"commit without prepare for {key}")
         self._active[key] = next(self._epochs)
         pipeline = self.pipelines[name]
+        result = {"status": "activated"}
+        if input.get("recover"):
+            # Recovery phase (DESIGN §11): survivors reconcile the
+            # staged set against the new view *before* the backend's
+            # activate, so execute sees a complete distribution.
+            report = yield from recover_iteration(
+                self, name, iteration, view,
+                expected=input.get("expected") or (),
+            )
+            result.update(report)
+        else:
+            # A fresh activation of this iteration: any leftover data
+            # (from an aborted earlier attempt whose blocks will be
+            # re-staged under the *new* view's placement) would create
+            # double ownership. Purge it.
+            pipeline.discard(iteration)
+            self.replicas.drop_iteration(name, iteration)
         yield from pipeline.activate(iteration, list(view))
         self.margo.sim.metrics.scope("core").counter("activations_committed").inc()
-        return "activated"
+        return result
 
     def _rpc_activate_abort(self, input: dict) -> Generator:
         yield self.margo.sim.timeout(0)
@@ -206,6 +239,10 @@ class ColzaProvider(Provider):
         core = self.margo.sim.metrics.scope("core")
         core.counter("blocks_staged").inc()
         core.counter("bytes_staged").inc(handle.nbytes)
+        factor = pipeline.replication_factor
+        view = list(pipeline.current_view)
+        if factor >= 2 and len(view) >= 2:
+            yield from replicate_block(self, name, iteration, block, view, factor)
         return "staged"
 
     def _rpc_execute(self, input: dict) -> Generator:
@@ -219,18 +256,29 @@ class ColzaProvider(Provider):
         return "executed"
 
     def _rpc_deactivate(self, input: dict) -> Generator:
+        yield self.margo.sim.timeout(0)
         name = input["pipeline"]
         iteration = input["iteration"]
         key = (name, iteration)
         pipeline = self.pipelines.get(name)
-        if pipeline is not None:
+        was_active = self._active.pop(key, None) is not None
+        if pipeline is not None and not input.get("keep_data"):
+            # keep_data is the abort-for-retry path: the activation
+            # epoch dies (stage/execute handlers in flight will see it
+            # and bail) but staged blocks and their replicas survive so
+            # the next activate can recover instead of re-staging.
             yield from pipeline.deactivate(iteration)
-        self._active.pop(key, None)
+            self.replicas.drop_iteration(name, iteration)
         if not self._active and self._leave_deferred:
             self._leave_deferred = False
             self.leaving = True
             if self.on_ready_to_leave is not None:
                 self.on_ready_to_leave()
+        if pipeline is None or not was_active:
+            # Explicitly idempotent: deactivating a key that was never
+            # active (double-deactivate, tolerant abort broadcasts,
+            # post-crash cleanup) is a no-op, reported distinctly.
+            return "not-active"
         return "deactivated"
 
     def _rpc_migrate(self, input: dict) -> Generator:
@@ -245,3 +293,61 @@ class ColzaProvider(Provider):
     def _rpc_get_view(self, _input: Any) -> Generator:
         yield self.margo.sim.timeout(0)
         return self.view()
+
+    # ------------------------------------------------------------------
+    # replication & recovery (DESIGN §11)
+    def block_inventory(self, name: str, iteration: int) -> Dict[str, List[int]]:
+        """Block ids this process holds for an iteration, by role."""
+        pipeline = self.pipelines.get(name)
+        primary = (
+            sorted(b.block_id for b in pipeline.blocks(iteration))
+            if pipeline is not None
+            else []
+        )
+        return {
+            "primary": primary,
+            "replica": self.replicas.block_ids(name, iteration),
+        }
+
+    def _rpc_replicate(self, input: dict) -> Generator:
+        name = input["pipeline"]
+        iteration = input["iteration"]
+        key = (name, iteration)
+        handle: MemoryHandle = input["handle"]
+        payload = yield self.margo.bulk_pull(handle)
+        # Accept while the iteration is active here — or still merely
+        # prepared: a buddy's commit may land after the owner's, and
+        # stage (hence replicate) traffic can arrive in that window.
+        # Anything else is a stale forward from a dead epoch; storing
+        # it would leak past the iteration's deactivate.
+        if key not in self._active and key not in self._prepared:
+            return "stale"
+        block = StagedBlock(
+            block_id=input["block_id"],
+            metadata=dict(input.get("metadata") or {}),
+            payload=payload,
+        )
+        self.replicas.put(name, iteration, block)
+        core = self.margo.sim.metrics.scope("core")
+        core.counter("blocks_replicated").inc()
+        core.counter("replica_bytes").inc(handle.nbytes)
+        return "replicated"
+
+    def _rpc_inventory(self, input: dict) -> Generator:
+        yield self.margo.sim.timeout(0)
+        return self.block_inventory(input["pipeline"], input["iteration"])
+
+    def _rpc_fetch_block(self, input: dict) -> Generator:
+        """Serve one replicated block to a recovering peer (RDMA pull
+        on the peer's side — the client is never involved)."""
+        yield self.margo.sim.timeout(0)
+        block = self.replicas.get(
+            input["pipeline"], input["iteration"], input["block_id"]
+        )
+        if block is None:
+            return None
+        return {
+            "block_id": block.block_id,
+            "metadata": dict(block.metadata),
+            "handle": self.margo.expose(block.payload),
+        }

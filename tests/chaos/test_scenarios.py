@@ -18,7 +18,9 @@ from repro.chaos import run_scenario, scenario_names
 SEEDS = [0, 1]
 
 #: Scenarios re-run twice per seed; chosen to cover every fault layer
-#: (link, RDMA, process, SSG) plus the random-plan generator.
+#: (link, RDMA, process, SSG), the random-plan generator, and the
+#: replication/recovery protocol (both the zero-restage path and the
+#: full-restage fallback).
 DETERMINISM_SUBSET = [
     "baseline_no_faults",
     "drop_storm",
@@ -26,6 +28,8 @@ DETERMINISM_SUBSET = [
     "crash_mid_execute",
     "churn_stress",
     "combo_random",
+    "replicated_crash_owner_mid_iteration",
+    "replicated_owner_and_buddy_crash",
 ]
 
 
@@ -73,8 +77,41 @@ def test_gossip_suppression_forces_a_refutation():
     assert result.info["victim_incarnation"] >= 1
 
 
+def test_replicated_recovery_avoids_restaging():
+    result = run_scenario("replicated_crash_owner_mid_iteration", seed=1)
+    assert result.ok, "\n".join(result.violations)
+    assert result.info["staged_delta"] == 4, "client re-staged during recovery"
+    assert result.info["recovered"] >= 1
+    assert result.info["fallbacks"] == 0
+
+
+def test_owner_and_buddy_crash_forces_fallback():
+    result = run_scenario("replicated_owner_and_buddy_crash", seed=1)
+    assert result.ok, "\n".join(result.violations)
+    assert result.info["fallbacks"] == 1
+    assert result.info["staged_delta"] == 8
+
+
+def test_node_failure_recovers_from_off_node_replicas():
+    result = run_scenario("replicated_node_failure", seed=1)
+    assert result.ok, "\n".join(result.violations)
+    assert result.info["recovered"] >= 2
+    assert result.info["fallbacks"] == 0
+
+
 # ---------------------------------------------------------------------------
-# the canary
+# the canaries
+def test_broken_replication_is_caught(monkeypatch):
+    """Disable buddy placement entirely: with no replicas in the system
+    an owner crash has nothing to recover from, so the zero-restage
+    scenario must flag violations instead of passing vacuously."""
+    import repro.core.replication as replication
+
+    monkeypatch.setattr(replication, "replica_buddies", lambda *a, **k: [])
+    result = run_scenario("replicated_crash_owner_mid_iteration", seed=1)
+    assert not result.ok, "broken replication went unnoticed by the fleet"
+
+
 def test_broken_abort_on_death_is_caught(monkeypatch):
     """Disable the provider's lost-member abort: the collective execute
     now blocks forever on the dead peer, and crash_mid_execute (which
