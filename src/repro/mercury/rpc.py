@@ -145,10 +145,15 @@ class MercuryInstance:
             if timeout is None:
                 msg: Message = yield rx
             else:
-                idx, value = yield AnyOf(self.sim, [rx, self.sim.timeout(timeout)])
+                timer = self.sim.timeout(timeout)
+                idx, value = yield AnyOf(self.sim, [rx, timer])
                 if idx == 1:
                     self.endpoint.cancel_recv(rx)
                     raise RpcTimeout(f"rpc {rpc_name!r} to {dest} timed out after {timeout}s")
+                # Reply won the race: withdraw the deadline timer so it
+                # never pops (at SWIM scale, one stale timer per ping
+                # doubles the kernel's event budget for nothing).
+                timer.cancel()
                 msg = value
             status, payload = msg.payload
             if status == "ok":

@@ -238,15 +238,21 @@ class MonaComm:
         raise ValueError(f"unknown reduce algorithm {algorithm!r} (binary|binomial)")
 
     def _reduce_binary(self, payload: Any, op: ReduceOp, root: int, tag) -> Generator:
+        # Child payloads are collected and folded once via combine_many:
+        # same left-to-right order (bit-identical result), but the fold
+        # accumulates into one owned buffer instead of allocating a
+        # fresh array per child. Timing yields are untouched — combine
+        # *cost* is still charged per child as the data arrives.
         rel = (self.rank - root) % self.size
-        accum = payload
+        received: List[Any] = []
         for child_rel in (2 * rel + 1, 2 * rel + 2):
             if child_rel >= self.size:
                 continue
             msg: Message = yield self._crecv((child_rel + root) % self.size, tag)
             yield self._overhead()
             yield self._combine_cost(msg.payload)
-            accum = op(accum, msg.payload)
+            received.append(msg.payload)
+        accum = op.combine_many(payload, received)
         if rel != 0:
             parent_rel = (rel - 1) // 2
             yield self._csend((parent_rel + root) % self.size, accum, tag)
@@ -257,11 +263,12 @@ class MonaComm:
         """Binomial tree: children arrive spread across rounds, so each
         level costs one (not two) serialized receives."""
         rel = (self.rank - root) % self.size
-        accum = payload
+        received: List[Any] = []
         mask = 1
         while mask < self.size:
             if rel & mask:
                 parent_rel = rel - mask
+                accum = op.combine_many(payload, received)
                 yield self._csend((parent_rel + root) % self.size, accum, tag)
                 return None
             child_rel = rel | mask
@@ -269,9 +276,9 @@ class MonaComm:
                 msg: Message = yield self._crecv((child_rel + root) % self.size, tag)
                 yield self._overhead()
                 yield self._combine_cost(msg.payload)
-                accum = op(accum, msg.payload)
+                received.append(msg.payload)
             mask <<= 1
-        return accum
+        return op.combine_many(payload, received)
 
     @_traced("allreduce")
     def allreduce(self, payload: Any, op: ReduceOp = SUM, algorithm: str = "reduce_bcast") -> Generator:
@@ -374,7 +381,8 @@ class MonaComm:
             yield self._overhead()
             for s, chunk in incoming.items():
                 yield self._combine_cost(chunk)
-                segments[s] = op(segments[s], chunk)
+                # Segments are private copies — fold in place.
+                segments[s] = op.combine_inplace(segments[s], chunk)
             owned = keep
             half //= 2
             step += 1

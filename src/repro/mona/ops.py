@@ -9,7 +9,7 @@ Custom operators are plain callables wrapped in :class:`ReduceOp`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Optional
 
 import numpy as np
 
@@ -20,12 +20,23 @@ __all__ = ["BAND", "BOR", "BXOR", "LAND", "LOR", "MAX", "MIN", "PROD", "SUM", "R
 
 @dataclass(frozen=True)
 class ReduceOp:
-    """A named, associative binary operator."""
+    """A named, associative binary operator.
+
+    When ``ufunc`` is set, multi-operand folds (:meth:`combine_many`,
+    :meth:`combine_inplace`) accumulate into one owned buffer with
+    ``ufunc(acc, chunk, out=acc)`` instead of allocating a fresh array
+    per combine. The fold stays strictly sequential left-to-right —
+    never ``ufunc.reduce`` over a stacked axis, whose pairwise
+    summation would reorder float additions — so results are
+    bit-identical to repeated ``fn(a, b)``.
+    """
 
     name: str
     fn: Callable[[Any, Any], Any]
     #: Whether the op requires integer inputs (bitwise family).
     integer_only: bool = False
+    #: Elementwise ufunc equivalent to ``fn`` on same-dtype arrays.
+    ufunc: Optional[np.ufunc] = None
 
     def __call__(self, a: Any, b: Any) -> Any:
         if isinstance(a, VirtualPayload) or isinstance(b, VirtualPayload):
@@ -44,13 +55,65 @@ class ReduceOp:
                     raise TypeError(f"{self.name} requires integer operands")
         return self.fn(a, b)
 
+    # ------------------------------------------------------------------
+    # allocation-light folds (bit-identical to repeated __call__)
+    def _inplace_ok(self, acc: Any, chunk: Any) -> bool:
+        """Whether ``ufunc(acc, chunk, out=acc)`` equals ``fn(acc, chunk)``.
 
-SUM = ReduceOp("sum", lambda a, b: a + b)
-PROD = ReduceOp("prod", lambda a, b: a * b)
-MIN = ReduceOp("min", lambda a, b: np.minimum(a, b))
-MAX = ReduceOp("max", lambda a, b: np.maximum(a, b))
-BXOR = ReduceOp("bxor", lambda a, b: np.bitwise_xor(a, b), integer_only=True)
-BOR = ReduceOp("bor", lambda a, b: np.bitwise_or(a, b), integer_only=True)
-BAND = ReduceOp("band", lambda a, b: np.bitwise_and(a, b), integer_only=True)
-LOR = ReduceOp("lor", lambda a, b: np.logical_or(a, b))
-LAND = ReduceOp("land", lambda a, b: np.logical_and(a, b))
+        Requires same dtype/shape (no promotion or broadcasting, which
+        out= would silently cast away) and an output dtype matching the
+        input (the logical family yields bool regardless of input).
+        """
+        ufunc = self.ufunc
+        if (
+            ufunc is None
+            or not isinstance(acc, np.ndarray)
+            or not isinstance(chunk, np.ndarray)
+            or acc.dtype != chunk.dtype
+            or acc.shape != chunk.shape
+        ):
+            return False
+        if self.integer_only and not np.issubdtype(acc.dtype, np.integer):
+            return False
+        empty = acc.ravel()[:0]
+        return ufunc(empty, empty).dtype == acc.dtype
+
+    def combine_inplace(self, acc: Any, chunk: Any) -> Any:
+        """Fold ``chunk`` into ``acc``; the caller must own ``acc``'s
+        buffer. Falls back to the allocating binary combine whenever the
+        in-place path would not be bit-identical."""
+        if self._inplace_ok(acc, chunk):
+            self.ufunc(acc, chunk, out=acc)
+            return acc
+        return self(acc, chunk)
+
+    def combine_many(self, first: Any, rest: Iterable[Any]) -> Any:
+        """Left fold ``first`` with each of ``rest`` in order.
+
+        Never mutates the inputs: the in-place path accumulates into a
+        private copy of ``first``. Result is bit-identical to
+        ``functools.reduce(self, rest, first)``.
+        """
+        chunks = list(rest)
+        if not chunks:
+            return first
+        acc = first
+        if self._inplace_ok(first, chunks[0]):
+            acc = first.copy()
+            for chunk in chunks:
+                acc = self.combine_inplace(acc, chunk)
+            return acc
+        for chunk in chunks:
+            acc = self(acc, chunk)
+        return acc
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b, ufunc=np.add)
+PROD = ReduceOp("prod", lambda a, b: a * b, ufunc=np.multiply)
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b), ufunc=np.minimum)
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b), ufunc=np.maximum)
+BXOR = ReduceOp("bxor", lambda a, b: np.bitwise_xor(a, b), integer_only=True, ufunc=np.bitwise_xor)
+BOR = ReduceOp("bor", lambda a, b: np.bitwise_or(a, b), integer_only=True, ufunc=np.bitwise_or)
+BAND = ReduceOp("band", lambda a, b: np.bitwise_and(a, b), integer_only=True, ufunc=np.bitwise_and)
+LOR = ReduceOp("lor", lambda a, b: np.logical_or(a, b), ufunc=np.logical_or)
+LAND = ReduceOp("land", lambda a, b: np.logical_and(a, b), ufunc=np.logical_and)

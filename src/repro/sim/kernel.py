@@ -31,9 +31,10 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.equeue import NO_ARG, EventQueue
 
 __all__ = [
     "AllOf",
@@ -126,7 +127,7 @@ class Event:
     scheduled events) — there is no "missed wakeup".
     """
 
-    __slots__ = ("sim", "name", "_value", "_exc", "_fired", "_callbacks")
+    __slots__ = ("sim", "name", "_value", "_exc", "_fired", "_callbacks", "_shandle")
 
     def __init__(self, sim: "Simulation", name: str = ""):
         self.sim = sim
@@ -135,6 +136,9 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._fired = False
         self._callbacks: list[Callable[["Event"], None]] = []
+        #: Queue handle of the scheduled firing, for timer events only
+        #: (set by Simulation.timeout; enables cancel()).
+        self._shandle: Optional[list] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -182,6 +186,24 @@ class Event:
         self._trigger(None, exc)
         return self
 
+    def cancel(self) -> bool:
+        """Cancel a pending *timer* event (one made by ``timeout``).
+
+        The scheduled firing is tombstoned in the event queue: the event
+        will never fire and its waiters will never resume, so this is
+        only safe once no live waiter depends on it (the kernel uses it
+        when a race resolved the other way, e.g. an RPC reply beat its
+        timeout). Returns False for non-timer events, already-fired
+        events, and double cancels.
+        """
+        if self._fired:
+            return False
+        handle = self._shandle
+        if handle is None:
+            return False
+        self._shandle = None
+        return self.sim._queue.cancel(handle)
+
     def _trigger(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._fired:
             raise SimulationError(f"event {self.name!r} fired twice")
@@ -193,8 +215,9 @@ class Event:
         # synchronously: the firing task runs to its next yield before
         # any waiter resumes, and long wake-up chains stay iterative
         # (no Python recursion, however deep the dependency graph).
+        schedule = self.sim._schedule_call
         for cb in callbacks:
-            self.sim._schedule_call(lambda cb=cb: cb(self))
+            schedule(cb, self)
 
     # ------------------------------------------------------------------
     # waiting
@@ -203,7 +226,7 @@ class Event:
         scheduler if it already fired)."""
         if self._fired:
             # Preserve run-to-completion semantics: defer to the loop.
-            self.sim._schedule_call(lambda: cb(self))
+            self.sim._schedule_call(cb, self)
         else:
             self._callbacks.append(cb)
 
@@ -234,7 +257,7 @@ class AllOf(Event):
         self._children = list(events)
         self._remaining = len(self._children)
         if self._remaining == 0:
-            sim._schedule_call(lambda: self.succeed([]))
+            sim._schedule_call(self.succeed, [])
             return
         for ev in self._children:
             ev.add_callback(self._child_fired)
@@ -440,7 +463,7 @@ class Simulation:
         perturb_seed: Optional[int] = None,
     ):
         self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue = EventQueue()
         self._seq = itertools.count()
         self.strict = strict
         if perturb_seed is None:
@@ -456,6 +479,9 @@ class Simulation:
         self._simtsan: Optional[Any] = None
         self._current_task: Optional[Task] = None
         self.tasks: list[Task] = []
+        # Finished tasks are pruned amortizedly (long runs spawn one
+        # task per RPC dispatch; retaining them all is a memory leak).
+        self._task_prune_at = 1024
         # Named interception points (see add_interceptor). Kept as a
         # plain dict so un-instrumented runs pay one dict lookup per
         # hook site and nothing more.
@@ -526,11 +552,16 @@ class Simulation:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
-        """Event firing ``delay`` simulated seconds from now."""
+        """Event firing ``delay`` simulated seconds from now.
+
+        The returned event is cancelable (:meth:`Event.cancel`): a timer
+        whose race was lost — an RPC reply arriving before its deadline —
+        can be withdrawn from the queue instead of firing into nothing.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         ev = Event(self, name)
-        self._schedule_at(self._now + delay, lambda: ev.succeed(value))
+        ev._shandle = self._schedule_at(self._now + delay, ev.succeed, value)
         return ev
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -548,8 +579,16 @@ class Simulation:
         task = Task(self, gen, name)
         self.trace.inherit(task)
         self.tasks.append(task)
+        if len(self.tasks) >= self._task_prune_at:
+            self._prune_tasks()
         self._schedule_call(task._start)
         return task
+
+    def _prune_tasks(self) -> None:
+        """Drop finished tasks; amortized O(1) per spawn, deterministic
+        (triggered purely by the spawn count, never by memory/GC state)."""
+        self.tasks = [t for t in self.tasks if not t.finished]
+        self._task_prune_at = max(1024, 2 * len(self.tasks))
 
     def spawn_at(self, when: float, gen: Coroutine, name: str = "") -> Task:
         """Spawn a task whose first step runs at absolute time ``when``."""
@@ -570,39 +609,105 @@ class Simulation:
         is advanced to ``until`` when given, even if the queue drained
         earlier.
         """
-        while self._queue:
-            when, _, call = self._queue[0]
-            if until is not None and when > until:
+        queue = self._queue
+        no_arg = NO_ARG
+        while True:
+            when = queue.peek_when()
+            if when is None or (until is not None and when > until):
                 break
-            heapq.heappop(self._queue)
+            entry = queue.pop()
             self._now = when
-            call()
+            call, arg = entry[2], entry[3]
+            if arg is no_arg:
+                call()
+            else:
+                call(arg)
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
     def step(self) -> bool:
         """Process a single scheduled call; False when queue is empty."""
-        if not self._queue:
+        entry = self._queue.pop()
+        if entry is None:
             return False
-        when, _, call = heapq.heappop(self._queue)
-        self._now = when
-        call()
+        self._now = entry[0]
+        call, arg = entry[2], entry[3]
+        if arg is NO_ARG:
+            call()
+        else:
+            call(arg)
         return True
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled call, or None if idle."""
-        return self._queue[0][0] if self._queue else None
+        return self._queue.peek_when()
+
+    # ------------------------------------------------------------------
+    # queue observability (chaos monitors, perf-budget tests, benches)
+    @property
+    def queue_depth(self) -> int:
+        """Live (non-canceled) entries currently scheduled."""
+        return len(self._queue)
+
+    @property
+    def queue_tombstones(self) -> int:
+        """Canceled entries awaiting compaction."""
+        return self._queue.tombstones
+
+    def queue_stats(self) -> dict:
+        """Event-queue op counters; also publishes them as gauges under
+        the ``sim`` metrics scope (``sim.event_queue_*``), so the chaos
+        monitor and bench reports observe compaction behaviour."""
+        stats = self._queue.stats()
+        scope = self.metrics.scope("sim")
+        scope.gauge("event_queue_depth").set(stats["depth"])
+        scope.gauge("event_queue_tombstones").set(stats["tombstones"])
+        scope.gauge("event_queue_peak_depth").set(stats["peak_depth"])
+        return stats
 
     # ------------------------------------------------------------------
     # kernel internals
-    def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
+    def _schedule_at(
+        self, when: float, call: Callable[..., Any], arg: Any = NO_ARG
+    ) -> list:
+        """Schedule ``call`` (optionally with one argument — saving a
+        closure allocation on the hottest paths) at absolute time
+        ``when``. Returns the queue handle (cancelable)."""
         key = next(self._seq)
         if self._perturb_salt is not None:
             # Bijective, so keys stay unique: same-time events fire in
             # a seeded permutation of schedule order instead of FIFO.
             key = _splitmix64(key ^ self._perturb_salt)
-        heapq.heappush(self._queue, (when, key, call))
+        return self._queue.push(when, key, call, arg)
 
-    def _schedule_call(self, call: Callable[[], None]) -> None:
-        self._schedule_at(self._now, call)
+    def _schedule_call(self, call: Callable[..., Any], arg: Any = NO_ARG) -> list:
+        return self._schedule_at(self._now, call, arg)
+
+    def schedule_many(
+        self, items: Iterable[tuple], relative: bool = False
+    ) -> list:
+        """Batch-schedule ``(when, call)`` or ``(when, call, arg)`` items.
+
+        Items are assigned sequence keys in iteration order — exactly
+        the order a loop of individual ``timeout``/``_schedule_at``
+        calls would have produced — then inserted in one O(n + m)
+        heapify when the batch is large. ``relative=True`` interprets
+        each ``when`` as a delay from now. Returns the handles.
+        """
+        now = self._now
+        seq = self._seq
+        salt = self._perturb_salt
+        specs = []
+        for item in items:
+            when, call = item[0], item[1]
+            arg = item[2] if len(item) > 2 else NO_ARG
+            if relative:
+                if when < 0:
+                    raise ValueError(f"negative delay {when!r}")
+                when = now + when
+            key = next(seq)
+            if salt is not None:
+                key = _splitmix64(key ^ salt)
+            specs.append((when, key, call, arg))
+        return self._queue.push_many(specs)

@@ -62,6 +62,15 @@ class Span:
         return self.end - self.start
 
 
+#: Shared no-op spans handed out while tracing is disabled. ``end`` and
+#: parent resolution both check ``recorded`` before touching anything,
+#: so one frozen instance (id -1, empty tags, never mutated) serves
+#: every disabled begin without a per-call Span/dict allocation — the
+#: hot layers (fabric, mercury, margo) open spans on every message.
+_DISABLED_SPAN = Span(name="<disabled>", start=0.0, recorded=False)
+_DISABLED_ASYNC_SPAN = Span(name="<disabled>", start=0.0, detached=True, recorded=False)
+
+
 class _SpanContext:
     """``with tracer.span("name"):`` — begin/end with exception tagging."""
 
@@ -177,7 +186,7 @@ class Tracer:
         id, e.g. an RPC trace context) to override.
         """
         if not self.enabled:
-            return Span(name=name, start=self._sim.now, tags=dict(tags), recorded=False)
+            return _DISABLED_SPAN
         span = self._make_span(name, parent, tags, detached=False)
         self._stack(create=True).append(span)
         return span
@@ -190,10 +199,7 @@ class Tracer:
         for the tree but later ``begin`` calls will not nest under it.
         """
         if not self.enabled:
-            return Span(
-                name=name, start=self._sim.now, tags=dict(tags),
-                detached=True, recorded=False,
-            )
+            return _DISABLED_ASYNC_SPAN
         return self._make_span(name, parent, tags, detached=True)
 
     def _make_span(self, name: str, parent, tags: Dict[str, Any], detached: bool) -> Span:

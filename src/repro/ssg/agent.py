@@ -86,6 +86,7 @@ class SSGAgent(Provider):
         self._probe_idx = 0
         self._loop_ult = None
         self._rng = margo.sim.rng.stream(f"ssg.{margo.address}")
+        self._metrics = margo.sim.metrics.scope("ssg")
         #: Serializes start()/leave(): both mutate running/_loop_ult and
         #: block on RPCs in between, so an overlapping pair could start
         #: the protocol loop of an agent that already disseminated LEFT.
@@ -116,7 +117,7 @@ class SSGAgent(Provider):
             pass
 
     def _notify(self, event: str, member: Address) -> None:
-        self.margo.sim.metrics.scope("ssg").counter(f"members_{event}").inc()
+        self._metrics.counter(f"members_{event}").inc()
         if self.observer is not None:
             self.observer(event, member)
         for extra in self._extra_observers:
@@ -206,19 +207,28 @@ class SSGAgent(Provider):
             yield from self._probe(target)
 
     def _next_probe_target(self) -> Optional[Address]:
-        alive = [a for a in self.view.alive() if a != self.address]
-        if not alive:
+        # Hot path: one call per protocol period per agent. The view's
+        # sorted-alive cache makes staleness checks O(1) `contains`
+        # probes; the full peer list is only materialized (and shuffled,
+        # consuming RNG exactly as often as before) when a round-robin
+        # pass is exhausted — SWIM's random-permutation probe order.
+        view = self.view
+        n = view.size()
+        if n == 0 or (n == 1 and view.contains(self.address)):
             return None
-        if self._probe_idx >= len(self._probe_order):
-            self._probe_order = list(alive)
-            self._rng.shuffle(self._probe_order)
-            self._probe_idx = 0
-        while self._probe_idx < len(self._probe_order):
-            candidate = self._probe_order[self._probe_idx]
-            self._probe_idx += 1
-            if candidate in alive:
-                return candidate
-        return self._next_probe_target()
+        while True:
+            if self._probe_idx >= len(self._probe_order):
+                order = [a for a in view.alive() if a != self.address]
+                if not order:
+                    return None
+                self._rng.shuffle(order)
+                self._probe_order = order
+                self._probe_idx = 0
+            while self._probe_idx < len(self._probe_order):
+                candidate = self._probe_order[self._probe_idx]
+                self._probe_idx += 1
+                if view.contains(candidate):
+                    return candidate
 
     def _probe(self, target: Address) -> Generator:
         # SWIM §4.2: a ping to a member we hold SUSPECT carries the
@@ -226,7 +236,7 @@ class SSGAgent(Provider):
         # budget is spent — a reachable suspect must always get the
         # chance to refute before the suspicion timer expires.
         sim = self.margo.sim
-        sim.metrics.scope("ssg").counter("probes").inc()
+        self._metrics.counter("probes").inc()
         span = sim.trace.begin("ssg.probe", prober=self.address, target=target)
         extra = None
         if self.view.status_of(target) is Status.SUSPECT:
@@ -306,7 +316,7 @@ class SSGAgent(Provider):
         inc = self.view.incarnation_of(target)
         update = Update(Status.SUSPECT, target, inc)
         if self._apply_and_notify(update):
-            self.margo.sim.metrics.scope("ssg").counter("suspicions").inc()
+            self._metrics.counter("suspicions").inc()
             self._queue_update(update)
             self.margo.sim.spawn(
                 self._suspicion_timer(target, inc), name=f"suspicion@{self.address}"
@@ -331,6 +341,10 @@ class SSGAgent(Provider):
 
     def _piggyback(self) -> List[Update]:
         """Select updates to attach, most-fresh first; decrement budgets."""
+        if not self._outbox:
+            # Converged steady state: most pings carry nothing — skip
+            # the sort/slice machinery entirely.
+            return []
         chosen = sorted(self._outbox.items(), key=lambda kv: -kv[1])[
             : self.config.max_piggyback
         ]

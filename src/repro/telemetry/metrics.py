@@ -187,10 +187,16 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._scopes: Dict[str, MetricScope] = {}
 
     # ------------------------------------------------------------------
     def scope(self, component: str) -> MetricScope:
-        return MetricScope(self, component)
+        # Scopes are stateless views; interning them keeps hot paths
+        # (one scope() call per probe/ping at SWIM scale) allocation-free.
+        scope = self._scopes.get(component)
+        if scope is None:
+            scope = self._scopes[component] = MetricScope(self, component)
+        return scope
 
     def _get_or_create(self, name: str, factory, kind: str) -> Metric:
         metric = self._metrics.get(name)

@@ -78,3 +78,29 @@ def test_rng_registry_isolated_between_simulations():
     a = Simulation(seed=5).rng.stream("x").random(4)
     b = Simulation(seed=5).rng.stream("x").random(4)
     assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Pinned-seed golden digests.
+#
+# These SHA-256 trace digests were captured from the chaos scenarios
+# before the kernel fast-path work (indexed event queue, incremental
+# membership views, in-place reduce folds) and must survive it — the
+# optimizations are only admissible if they are bit-identical on pinned
+# seeds. If a digest moves, either an optimization reordered events (a
+# bug) or a deliberate semantic change landed; in the latter case
+# re-capture via ``run_scenario(name, seed=seed).digest`` and say why
+# in the commit message.
+GOLDEN_DIGESTS = {
+    ("drop_during_2pc", 3): "1f2308654cc642573f5676915be0762464e408ed919f3acb438beb44e425f2b2",
+    ("drop_during_2pc", 11): "f99fa7dd6101f7e6535b7e015ed4af80696d8985100937190f11f644feadf94e",
+    ("churn_stress", 3): "6fa6480a576a257c2f4e0bbbaddd4b591982672a3f4b6a302a726d14415cace9",
+    ("churn_stress", 11): "8f0d421448c1df304bfd94dce4d3662523080ff1821a327f8c963a5cac0beff0",
+}
+
+
+@pytest.mark.parametrize("name,seed", sorted(GOLDEN_DIGESTS))
+def test_pinned_seed_golden_digest(name, seed):
+    from repro.chaos.scenarios import run_scenario
+
+    assert run_scenario(name, seed=seed).digest == GOLDEN_DIGESTS[(name, seed)]

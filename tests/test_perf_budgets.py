@@ -1,0 +1,130 @@
+"""Operation-count budgets for the kernel fast paths.
+
+Wall-clock is too noisy for tier-1 CI, but the *op counts* behind the
+perf-trajectory suite are pinned-seed deterministic: events scheduled,
+timer cancellations, tombstone compactions, membership-view rebuilds.
+These tests pin the structural properties the optimizations bought —
+if a refactor quietly reintroduces per-probe view re-sorts or stops
+canceling lost-race deadline timers, a budget here trips long before
+anyone reads a benchmark report.
+
+Budgets are deliberately loose (2x-ish headroom) so they gate
+asymptotic behavior, not incidental constants.
+"""
+
+import numpy as np
+
+from repro.sim import Simulation
+from repro.ssg import SwimConfig, converged
+from repro.testing import build_ssg_group, run_until
+
+
+def _run_small_group(n_agents=6, seed=21, extra_seconds=30.0):
+    sim = Simulation(seed=seed)
+    fabric, margos, agents = build_ssg_group(
+        sim, n_agents, config=SwimConfig(period=0.25)
+    )
+    run_until(sim, lambda: converged(agents), max_time=120)
+    sim.run(until=sim.now + extra_seconds)
+    return sim, agents
+
+
+def test_membership_views_never_rebuild():
+    """Incremental alive-cache: joins/leaves are O(log n) deltas; the
+    O(n log n) full re-sort cold path must never run in steady state."""
+    sim, agents = _run_small_group()
+    assert all(agent.view.rebuilds == 0 for agent in agents)
+    # ... and the caches are actually being read (alive views served).
+    assert all(agent.view.size() >= 1 for agent in agents)
+
+
+def test_lost_race_timers_are_canceled():
+    """Every answered ping's deadline timer must be withdrawn, not left
+    to pop as a tombstone-free dead event (the pre-optimization tax)."""
+    sim, agents = _run_small_group()
+    stats = sim.queue_stats()
+    probes = sim.metrics.get("ssg.probes")
+    assert probes is not None and probes.value > 0
+    # At least one cancellation per successful probe (the RPC deadline
+    # that lost its race to the reply).
+    assert stats["cancels"] >= probes.value
+
+
+def test_swim_event_budget_does_not_scale_with_view_size():
+    """SWIM's per-period work is O(active agents), not O(view size):
+    quadrupling the membership with the same active sample must leave
+    the kernel event budget flat (within slack for piggyback traffic)."""
+    from repro.bench.trajectory import build_swim_churn
+
+    def events_at(n_members):
+        sim, agents, _ = build_swim_churn(n_members, seed=77, active=8, spares=16)
+        sim.run(until=sim.now + 10.0)
+        return sim.queue_stats()["pushes"]
+
+    small, large = events_at(64), events_at(256)
+    assert large <= small * 1.5, (small, large)
+
+
+def test_cancel_heavy_load_compacts_tombstones():
+    """A cancel-dominated workload must trigger compaction and keep the
+    physical heap from growing unboundedly past the live set."""
+    sim = Simulation(seed=5)
+
+    def driver():
+        timers = [sim.timeout(10.0 + i * 1e-3) for i in range(2000)]
+        for i, ev in enumerate(timers):
+            if i % 10:
+                ev.cancel()
+        yield sim.timeout(0)
+
+    sim.spawn(driver(), name="canceler")
+    sim.run()
+    stats = sim.queue_stats()
+    assert stats["cancels"] == 1800
+    assert stats["compactions"] >= 1
+    assert stats["tombstones"] <= stats["cancels"] // 2
+
+
+def test_queue_stats_publishes_metric_gauges():
+    """queue_stats() doubles as the gauge exporter for sim.metrics."""
+    sim = Simulation(seed=3)
+
+    def waiter():
+        yield sim.timeout(1.0)
+
+    sim.spawn(waiter(), name="t")
+    sim.run()
+    sim.queue_stats()
+    for gauge in (
+        "sim.event_queue_depth",
+        "sim.event_queue_tombstones",
+        "sim.event_queue_peak_depth",
+    ):
+        metric = sim.metrics.get(gauge)
+        assert metric is not None, gauge
+    assert sim.metrics.get("sim.event_queue_peak_depth").value >= 1
+
+
+def test_inplace_reduce_folds_match_sequential_combines():
+    """The vectorized in-place folds must be bit-identical to the naive
+    left fold for every collective op, dtype quirks included."""
+    from repro.mona import ops
+
+    rng = np.random.default_rng(123)
+    floats = [rng.random(257) * (i + 1) for i in range(9)]
+    ints = [rng.integers(0, 1 << 30, size=257) for _ in range(9)]
+    bools = [rng.random(257) < 0.5 for _ in range(9)]
+
+    cases = [
+        (ops.SUM, floats), (ops.PROD, floats),
+        (ops.MIN, floats), (ops.MAX, floats),
+        (ops.SUM, ints), (ops.BXOR, ints), (ops.BOR, ints), (ops.BAND, ints),
+        (ops.LOR, bools), (ops.LAND, bools),
+    ]
+    for op, chunks in cases:
+        naive = chunks[0]
+        for chunk in chunks[1:]:
+            naive = op(naive, chunk)
+        fast = op.combine_many(chunks[0], chunks[1:])
+        assert naive.dtype == fast.dtype, op.name
+        assert np.array_equal(naive, fast), op.name
