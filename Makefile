@@ -43,6 +43,7 @@ examples:
 	python examples/dwi_volume.py
 	python examples/fault_tolerance.py
 	python examples/adios_sst_coupling.py
+	python examples/multi_tenant.py
 
 results: bench
 	@echo "tables written to results/, images to results/renders/"

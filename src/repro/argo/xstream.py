@@ -9,7 +9,7 @@ criticizes — holding the core while blocked.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Dict, Generator, Optional
 
 from repro.sim.kernel import Coroutine, Event, Simulation, Task
 from repro.sim.resources import Resource
@@ -30,6 +30,10 @@ class Xstream:
         # span/task identities, hence into determinism digests).
         self._ult_seq = 0
         self._ult_prune_at = 1024
+        # Fair-share accounting (DESIGN §13): grants and compute-seconds
+        # per tenant, populated once fair-share is enabled.
+        self.tenant_grants: Dict[str, int] = {}
+        self.tenant_compute: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def spawn(self, gen: Coroutine, name: str = "") -> "Ult":
@@ -47,17 +51,45 @@ class Xstream:
         self.ults = [u for u in self.ults if not u.finished]
         self._ult_prune_at = max(1024, 2 * len(self.ults))
 
+    @property
+    def fair_share(self) -> bool:
+        """Whether compute grants round-robin across tenants."""
+        return self.core.fair_share
+
+    def enable_fair_share(self) -> None:
+        """Round-robin runnable compute requests by tenant (DESIGN §13).
+
+        In the default FIFO mode a noisy tenant that enqueues a burst of
+        execute work monopolizes the core until its queue drains; in
+        fair-share mode the core rotates across the tenants that have
+        runnable work, so each attached simulation makes progress at
+        1/Nth of the core regardless of queue depth. Work from tasks
+        with no tenant attribution shares one round-robin slot.
+        """
+        self.core.enable_fair_share()
+
     def compute(self, seconds: float) -> Generator[Event, Any, None]:
         """Charge ``seconds`` of compute, serialized with other ULTs here.
 
         ``yield from`` this from ULT code. Zero-cost compute returns
         without touching the core.
+
+        In fair-share mode the request is grouped by the current task's
+        tenant attribution (``Task.tenant``, stamped by RPC handlers)
+        and the per-tenant grant counters are updated.
         """
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds!r}")
         if seconds == 0:
             return
-        yield from self.core.use(seconds)
+        if not self.core.fair_share:
+            yield from self.core.use(seconds)
+            return
+        task = self.sim.current_task
+        tenant = (task.tenant if task is not None else None) or ""
+        yield from self.core.use(seconds, group=tenant)
+        self.tenant_grants[tenant] = self.tenant_grants.get(tenant, 0) + 1
+        self.tenant_compute[tenant] = self.tenant_compute.get(tenant, 0.0) + seconds
 
     def spin_wait(self, event: Event) -> Generator[Event, Any, Any]:
         """Wait for ``event`` while *holding* the core (MPI-style block).

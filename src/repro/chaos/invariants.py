@@ -24,6 +24,13 @@ properties:
    held by a live server or explicitly reported ``missing``; and with
    fewer failures than the replication factor (``f < K``), nothing may
    be reported missing at all.
+6. **Tenant isolation** (DESIGN §13, :class:`TenantIsolation`) — on a
+   multi-tenant fabric, per-tenant quotas are never exceeded on any
+   daemon, every staged block is covered by a charge in its owning
+   tenant's accounting, and no state (pipelines, activation epochs,
+   prepared votes, replicas) ever exists under a tenant the daemon has
+   not admitted — so a detach, abort, or crash recovery in one tenant
+   can never strand or consume another tenant's data.
 
 Violations accumulate as human-readable strings; :meth:`assert_ok`
 turns them into one test failure.
@@ -35,8 +42,107 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.simtsan import untracked
 from repro.chaos.faults import name_of
+from repro.core.tenancy import tenant_of
 
-__all__ = ["InvariantMonitor"]
+__all__ = ["InvariantMonitor", "TenantIsolation"]
+
+
+class TenantIsolation:
+    """Invariant 6: multi-tenant isolation audits (DESIGN §13).
+
+    Every check is *instantaneously* valid — it holds at any event
+    boundary, not just at quiescence — so the monitor can run them on
+    arbitrary span completions without racing in-flight protocol
+    operations of other tenants:
+
+    - **Quota ceilings**: a tenant's charged blocks/bytes on a daemon
+      never exceed its quota (the provider reserves before it pulls,
+      so even concurrent stages cannot jointly overshoot).
+    - **Charge coverage**: every primary staged block is charged to
+      the tenant owning its pipeline (charges precede staging; they
+      are only released when the data is actually dropped).
+    - **Namespace containment**: every pipeline, activation epoch,
+      prepared vote and quota charge on a daemon belongs to an
+      admitted tenant, and every replica is held for a pipeline that
+      exists locally — state outliving a detach (or appearing under a
+      foreign namespace) is a hard failure.
+    """
+
+    def __init__(self, monitor: "InvariantMonitor"):
+        self.monitor = monitor
+
+    def _flag(self, message: str) -> None:
+        self.monitor.violations.append(
+            f"t={self.monitor.sim.now:.2f}: [tenant-isolation] {message}"
+        )
+
+    def check_quotas(self) -> None:
+        for daemon in self.monitor.deployment.live_daemons():
+            registry = daemon.provider.tenants
+            for tenant in registry.tenants():
+                blocks, nbytes = registry.usage(tenant)
+                quota = registry.quota_for(tenant)
+                if quota.max_blocks is not None and blocks > quota.max_blocks:
+                    self._flag(
+                        f"{daemon.name} holds {blocks} blocks for tenant "
+                        f"{tenant!r}, quota is {quota.max_blocks}"
+                    )
+                if quota.max_bytes is not None and nbytes > quota.max_bytes:
+                    self._flag(
+                        f"{daemon.name} holds {nbytes} bytes for tenant "
+                        f"{tenant!r}, quota is {quota.max_bytes}"
+                    )
+
+    def check_charge_coverage(self) -> None:
+        for daemon in self.monitor.deployment.live_daemons():
+            registry = daemon.provider.tenants
+            for name, backend in sorted(daemon.provider.pipelines.items()):
+                tenant = tenant_of(name)
+                state = registry._states.get(tenant)
+                for iteration, blocks in sorted(backend.staged.items()):
+                    charged = (
+                        state.charges.get((name, iteration), {})
+                        if state is not None
+                        else {}
+                    )
+                    for block in blocks:
+                        if block.block_id not in charged:
+                            self._flag(
+                                f"{daemon.name} stages block {block.block_id} "
+                                f"of {name}#{iteration} without a charge to "
+                                f"tenant {tenant!r}"
+                            )
+
+    def check_containment(self) -> None:
+        for daemon in self.monitor.deployment.live_daemons():
+            provider = daemon.provider
+            registry = provider.tenants
+            if registry.configured:
+                admitted = set(registry.tenants())
+                for name in sorted(provider.pipelines):
+                    if tenant_of(name) not in admitted:
+                        self._flag(
+                            f"{daemon.name} hosts pipeline {name!r} of "
+                            f"unadmitted tenant {tenant_of(name)!r}"
+                        )
+                for key in sorted(provider._active) + sorted(provider._prepared):
+                    if tenant_of(key[0]) not in admitted:
+                        self._flag(
+                            f"{daemon.name} holds 2PC state for {key} of "
+                            f"unadmitted tenant {tenant_of(key[0])!r}"
+                        )
+            for key in sorted(provider.replicas._blocks):
+                if key[0] not in provider.pipelines:
+                    self._flag(
+                        f"{daemon.name} holds replicas for {key[0]}#{key[1]} "
+                        f"but no such pipeline exists there (leak past a "
+                        f"destroy/detach)"
+                    )
+
+    def check_all(self) -> None:
+        self.check_quotas()
+        self.check_charge_coverage()
+        self.check_containment()
 
 
 class InvariantMonitor:
@@ -56,6 +162,8 @@ class InvariantMonitor:
         self._staged: Dict[Tuple[str, int], Set[int]] = {}
         #: Frozen view of the last committed activate per (pipeline, iter).
         self._views: Dict[Tuple[str, int], Tuple[str, ...]] = {}
+        #: Invariant 6: multi-tenant isolation audits (DESIGN §13).
+        self.tenancy = TenantIsolation(self)
 
     # ------------------------------------------------------------------
     def attach(self) -> "InvariantMonitor":
@@ -137,15 +245,19 @@ class InvariantMonitor:
                 self._views[(span.tags["pipeline"], span.tags["iteration"])] = tuple(
                     span.tags["view"].split(";")
                 )
+                self.tenancy.check_containment()
             elif span.name == "colza.stage":
                 key = (span.tags.get("pipeline"), span.tags.get("iteration"))
                 block_id = span.tags.get("block")
                 if key[0] is not None and block_id is not None:
                     self._staged.setdefault(key, set()).add(block_id)
+                self.tenancy.check_quotas()
+                self.tenancy.check_charge_coverage()
             elif span.name == "colza.deactivate":
                 key = (span.tags.get("pipeline"), span.tags.get("iteration"))
                 self._staged.pop(key, None)
                 self._views.pop(key, None)
+                self.tenancy.check_containment()
             elif span.name == "colza.execute":
                 self._check_block_ownership(
                     span.tags.get("pipeline"), span.tags.get("iteration")
@@ -249,8 +361,11 @@ class InvariantMonitor:
 
     # ------------------------------------------------------------------
     def final_check(self) -> List[str]:
-        """Invariant 4, run once the scenario has settled: all running
-        daemons' membership views must agree."""
+        """Invariants 4 and 6, run once the scenario has settled: all
+        running daemons' membership views must agree, and tenant
+        isolation must hold at quiescence."""
+        with untracked(self.sim):
+            self.tenancy.check_all()
         if not self.deployment.converged():
             views = {
                 d.name: [str(a) for a in d.agent.members()]

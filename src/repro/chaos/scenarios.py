@@ -42,7 +42,7 @@ from repro.chaos.faults import (
 )
 from repro.chaos.invariants import InvariantMonitor
 import repro.core.pipelines  # noqa: F401  (registers the pipeline libraries)
-from repro.core import Deployment
+from repro.core import Deployment, TenancyConfig
 from repro.core.admin import ColzaAdmin
 from repro.na import VirtualPayload
 from repro.sim import Simulation
@@ -53,6 +53,8 @@ __all__ = [
     "ChaosContext",
     "SCENARIOS",
     "ScenarioResult",
+    "TenantSession",
+    "build_multi_tenant_stack",
     "build_stack",
     "run_scenario",
     "scenario",
@@ -174,21 +176,92 @@ def build_stack(
     return ChaosContext(sim, deployment, margo, client, handle, monitor, library, config)
 
 
+@dataclass
+class TenantSession:
+    """One tenant's client-side view of a shared staging area."""
+
+    tenant: str
+    margo: Any
+    client: Any
+    handle: Any
+
+
+def build_multi_tenant_stack(
+    seed: int = 0,
+    n_servers: int = 4,
+    tenants=("alpha", "beta"),
+    library: str = STATS,
+    config: Optional[dict] = None,
+    tenancy: Optional[TenancyConfig] = None,
+    swim: Optional[SwimConfig] = None,
+    stage_timeout: Optional[float] = 2.0,
+    data_timeout: Optional[float] = 6.0,
+    control_timeout: float = 2.0,
+) -> ChaosContext:
+    """A booted stack shared by several tenants (DESIGN §13).
+
+    Every tenant gets its own client Margo instance, attaches under its
+    own namespace, and deploys a pipeline named ``pipe`` — the *same*
+    base name for everyone, because namespacing (not naming discipline)
+    is what keeps tenants apart. The returned context carries
+    ``ctx.sessions[tenant]`` per-tenant bags; the context's primary
+    client/handle are the first tenant's.
+    """
+    sim = Simulation(seed=seed)
+    deployment = Deployment(
+        sim,
+        swim_config=swim or _fast_swim(),
+        tenancy=tenancy if tenancy is not None else TenancyConfig(),
+    )
+    drive(sim, deployment.start_servers(n_servers), max_time=300)
+    run_until(sim, deployment.converged, max_time=300)
+    config = dict(config or {})
+    sessions: Dict[str, TenantSession] = {}
+    for i, tenant in enumerate(tenants):
+        margo, client = deployment.make_client(
+            node_index=40 + i, name=f"{CLIENT}-{tenant}", tenant=tenant
+        )
+        client.CONTROL_TIMEOUT = control_timeout
+        drive(sim, client.connect())
+        drive(sim, client.attach())
+        drive(
+            sim,
+            deployment.deploy_pipeline(margo, "pipe", library, config, tenant=tenant),
+            max_time=300,
+        )
+        handle = client.distributed_pipeline_handle("pipe")
+        handle.stage_timeout = stage_timeout
+        handle.data_timeout = data_timeout
+        handle.CONTROL_TIMEOUT = control_timeout
+        sessions[tenant] = TenantSession(tenant, margo, client, handle)
+    monitor = InvariantMonitor(sim, deployment).attach()
+    first = sessions[tenants[0]]
+    ctx = ChaosContext(
+        sim, deployment, first.margo, first.client, first.handle,
+        monitor, library, config,
+    )
+    ctx.sessions = sessions
+    return ctx
+
+
 def _workload(ctx, iterations=3, blocks=4, payload=None, attempts=5, first=1,
-              gap=0.0):
+              gap=0.0, handle=None):
     """N resilient iterations; returns the per-iteration view sizes.
 
     ``gap`` seconds of simulated compute separate iterations (the
     simulation timestep between in situ calls) — that's what spreads
-    the workload across a fault window.
+    the workload across a fault window. ``handle`` defaults to the
+    context's primary handle; multi-tenant scenarios pass a specific
+    session's handle instead.
     """
     payload = payload or LIGHT_BLOCK
+    handle = handle or ctx.handle
     sizes = []
     for it in range(first, first + iterations):
         if gap > 0:
             yield ctx.sim.timeout(gap)
         blks = [(b, payload) for b in range(blocks)]
-        view = yield from ctx.handle.run_resilient_iteration(
+        view = yield from handle.run_resilient_iteration(
             it, blks, max_attempts=attempts
         )
         sizes.append(len(view))
@@ -712,6 +785,221 @@ def scenario_deferred_leave_while_frozen(seed: int = 0) -> ScenarioResult:
     if len(ctx.deployment.addresses()) != 2:
         ctx.monitor.violations.append("deferred leave never happened")
     return _finish(ctx, info)
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant fabric (DESIGN §13)
+def _tenant_counters(ctx, tenant: str) -> Dict[str, int]:
+    scope = ctx.sim.metrics.scope(f"tenant.{tenant}")
+    return {
+        name: scope.counter(name).value
+        for name in (
+            "iterations_completed",
+            "iteration_retries",
+            "restage_fallbacks",
+            "blocks_staged",
+        )
+    }
+
+
+@scenario
+def scenario_tenant_churn_storm(seed: int = 0) -> ScenarioResult:
+    """Two stable tenants iterate while ephemeral tenants attach, run
+    one iteration each, and detach — under an admission cap with room
+    for exactly one ephemeral at a time. Tenant churn (attach, deploy,
+    stage, detach-with-teardown) must never perturb the stable tenants:
+    zero retries, every iteration on the first attempt."""
+    ctx = build_multi_tenant_stack(
+        seed, tenants=("alpha", "beta"), tenancy=TenancyConfig(max_tenants=3)
+    )
+    sim = ctx.sim
+    sizes: Dict[str, List[int]] = {}
+
+    def stable(tenant):
+        sizes[tenant] = yield from _workload(
+            ctx, iterations=4, blocks=3, gap=0.8,
+            handle=ctx.sessions[tenant].handle,
+        )
+
+    tasks = [
+        sim.spawn(stable(t), name=f"workload-{t}") for t in ("alpha", "beta")
+    ]
+
+    def ephemeral_churn():
+        for i in range(3):
+            tenant = f"eph{i}"
+            margo, client = ctx.deployment.make_client(
+                node_index=50 + i, name=f"{CLIENT}-{tenant}", tenant=tenant
+            )
+            yield from client.connect()
+            # The previous ephemeral already detached (this loop is
+            # sequential), so the cap has room — attach must succeed.
+            yield from client.attach()
+            yield from ctx.deployment.deploy_pipeline(
+                margo, "pipe", ctx.library, ctx.config, tenant=tenant
+            )
+            handle = client.distributed_pipeline_handle("pipe")
+            yield from handle.run_resilient_iteration(
+                1, [(b, LIGHT_BLOCK) for b in range(2)]
+            )
+            # Detach tears the namespace down everywhere: pipelines,
+            # staged data, quota charges, the admission slot.
+            yield from client.detach()
+
+    drive(sim, ephemeral_churn(), max_time=900)
+    run_until(sim, lambda: all(t.finished for t in tasks), max_time=900)
+    info = {"view_sizes": sizes}
+    for tenant in ("alpha", "beta"):
+        counters = _tenant_counters(ctx, tenant)
+        if sizes.get(tenant) is None or len(sizes[tenant]) != 4:
+            ctx.monitor.violations.append(
+                f"stable tenant {tenant!r} did not finish its 4 iterations"
+            )
+        if counters["iteration_retries"] != 0:
+            ctx.monitor.violations.append(
+                f"tenant churn caused {counters['iteration_retries']} "
+                f"retries for stable tenant {tenant!r}"
+            )
+    rosters = {
+        tuple(d.provider.tenants.tenants())
+        for d in ctx.deployment.live_daemons()
+    }
+    if rosters != {("alpha", "beta")}:
+        ctx.monitor.violations.append(
+            f"ephemeral tenants left admission state behind: {rosters}"
+        )
+    return _finish(ctx, info)
+
+
+@scenario
+def scenario_tenant_owner_crash_recovery_isolated(seed: int = 0) -> ScenarioResult:
+    """K=2 for both tenants; a shared server dies mid-iteration for
+    tenant alpha. Alpha must recover its orphans from replicas (the
+    DESIGN §11 path, zero client re-stages) while beta — which waits
+    out SWIM convergence and then runs a full iteration — must see NO
+    interference: first-attempt activate, zero retries, zero
+    fallbacks, exactly one stage per block."""
+    ctx = build_multi_tenant_stack(seed, n_servers=4, config=dict(REPLICATED))
+    sim = ctx.sim
+    alpha = ctx.sessions["alpha"]
+    beta = ctx.sessions["beta"]
+    drive(sim, _workload(ctx, iterations=1, blocks=4, handle=alpha.handle),
+          max_time=600)
+    drive(sim, _workload(ctx, iterations=1, blocks=4, handle=beta.handle),
+          max_time=600)
+    before_core = _core_counters(ctx)
+    before_beta = _tenant_counters(ctx, "beta")
+    before_alpha = _tenant_counters(ctx, "alpha")
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=sim.now + 1.0, server=victim),)))
+    alpha_sizes: List[int] = []
+
+    def alpha_body():
+        alpha_sizes.extend((yield from _workload(
+            ctx, iterations=1, blocks=4, first=2, attempts=8,
+            handle=alpha.handle,
+        )))
+
+    alpha_task = sim.spawn(alpha_body(), name="workload-alpha")
+    victim_daemon = next(d for d in ctx.deployment.daemons if d.name == victim)
+    run_until(sim, lambda: not victim_daemon.running, max_time=120)
+    run_until(sim, ctx.deployment.converged, max_time=120)
+    beta_sizes = drive(
+        sim, _workload(ctx, iterations=1, blocks=4, first=2, handle=beta.handle),
+        max_time=600,
+    )
+    run_until(sim, lambda: alpha_task.finished, max_time=600)
+    after_core = _core_counters(ctx)
+    after_beta = _tenant_counters(ctx, "beta")
+    after_alpha = _tenant_counters(ctx, "alpha")
+    recovered = after_core["blocks_recovered"] - before_core["blocks_recovered"]
+    if not alpha_sizes:
+        ctx.monitor.violations.append("alpha's crashed iteration never completed")
+    if recovered < 1:
+        ctx.monitor.violations.append(
+            "alpha recovered no blocks from replicas (crash offset mistimed?)"
+        )
+    if after_alpha["restage_fallbacks"] - before_alpha["restage_fallbacks"] != 0:
+        ctx.monitor.violations.append(
+            "alpha fell back to re-staging although f=1 < K=2"
+        )
+    beta_retries = after_beta["iteration_retries"] - before_beta["iteration_retries"]
+    beta_staged = after_beta["blocks_staged"] - before_beta["blocks_staged"]
+    beta_fallbacks = after_beta["restage_fallbacks"] - before_beta["restage_fallbacks"]
+    if beta_retries != 0:
+        ctx.monitor.violations.append(
+            f"alpha's crash recovery stalled beta: {beta_retries} retries"
+        )
+    if beta_staged != 4:
+        ctx.monitor.violations.append(
+            f"beta staged {beta_staged} blocks instead of exactly 4 "
+            f"(stage retries leaked across tenants)"
+        )
+    if beta_fallbacks != 0:
+        ctx.monitor.violations.append(
+            f"beta hit {beta_fallbacks} restage fallbacks for a crash "
+            f"that predated its activate"
+        )
+    return _finish(ctx, {
+        "alpha_sizes": alpha_sizes, "beta_sizes": beta_sizes,
+        "recovered": recovered, "beta_retries": beta_retries,
+        "beta_staged": beta_staged,
+    })
+
+
+@scenario
+def scenario_tenant_recovery_race(seed: int = 0) -> ScenarioResult:
+    """Both tenants are mid-iteration when a shared server dies. Both
+    recoveries then run concurrently on the same survivors; each must
+    adopt its own tenant's orphans from replicas — zero restage
+    fallbacks for either, no cross-tenant adoption (the charge-coverage
+    and containment audits run on every stage/activate)."""
+    ctx = build_multi_tenant_stack(seed, n_servers=4, config=dict(REPLICATED))
+    sim = ctx.sim
+    for tenant in ("alpha", "beta"):
+        drive(
+            sim,
+            _workload(ctx, iterations=1, blocks=4,
+                      handle=ctx.sessions[tenant].handle),
+            max_time=600,
+        )
+    before_core = _core_counters(ctx)
+    before = {t: _tenant_counters(ctx, t) for t in ("alpha", "beta")}
+    victim = ctx.servers[-1]
+    ctx.arm(FaultPlan((CrashFault(at=sim.now + 1.0, server=victim),)))
+    tasks = [
+        sim.spawn(
+            _workload(ctx, iterations=1, blocks=4, first=2, attempts=8,
+                      handle=ctx.sessions[t].handle),
+            name=f"workload-{t}",
+        )
+        for t in ("alpha", "beta")
+    ]
+    run_until(sim, lambda: all(t.finished for t in tasks), max_time=900)
+    after_core = _core_counters(ctx)
+    recovered = after_core["blocks_recovered"] - before_core["blocks_recovered"]
+    if recovered < 2:
+        ctx.monitor.violations.append(
+            f"each tenant should adopt at least one orphan from replicas, "
+            f"recovered only {recovered} in total"
+        )
+    deltas = {}
+    for tenant in ("alpha", "beta"):
+        counters = _tenant_counters(ctx, tenant)
+        fallbacks = counters["restage_fallbacks"] - before[tenant]["restage_fallbacks"]
+        staged = counters["blocks_staged"] - before[tenant]["blocks_staged"]
+        deltas[tenant] = {"fallbacks": fallbacks, "staged": staged}
+        if fallbacks != 0:
+            ctx.monitor.violations.append(
+                f"tenant {tenant!r} fell back to re-staging although "
+                f"f=1 < K=2 ({fallbacks})"
+            )
+        if staged != 4:
+            ctx.monitor.violations.append(
+                f"tenant {tenant!r} staged {staged} blocks instead of "
+                f"exactly 4 (recovery raced into a re-stage)"
+            )
+    return _finish(ctx, {"recovered": recovered, "deltas": deltas})
 
 
 # ---------------------------------------------------------------------------

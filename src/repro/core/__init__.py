@@ -27,6 +27,14 @@ from repro.core.admin import ColzaAdmin
 from repro.core.daemon import ColzaDaemon, Deployment
 from repro.core.provider import ColzaProvider
 from repro.core.replication import ReplicaStore, block_owner, replica_buddies
+from repro.core.tenancy import (
+    DEFAULT_TENANT,
+    TenancyConfig,
+    TenantQuota,
+    TenantRegistry,
+    qualify,
+    tenant_of,
+)
 
 __all__ = [
     "Backend",
@@ -34,12 +42,18 @@ __all__ = [
     "ColzaClient",
     "ColzaDaemon",
     "ColzaProvider",
+    "DEFAULT_TENANT",
     "Deployment",
     "DistributedPipelineHandle",
     "PipelineHandle",
     "ReplicaStore",
+    "TenancyConfig",
+    "TenantQuota",
+    "TenantRegistry",
     "block_owner",
     "create_backend",
+    "qualify",
     "register_backend",
     "replica_buddies",
+    "tenant_of",
 ]

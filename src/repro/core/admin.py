@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.argo.sync import Mutex
+from repro.core.replication import placement_rank
+from repro.core.tenancy import DEFAULT_TENANT, qualify, tenant_of
 from repro.margo import MargoInstance, Provider
 from repro.na.address import Address
 
@@ -39,14 +41,33 @@ class AdminProvider(Provider):
 
     def _rpc_create(self, input: Dict[str, Any]) -> Generator:
         yield self.margo.sim.timeout(0)
+        name = input["name"]
+        ok, reason = self.colza.tenants.admit(tenant_of(name))
+        if not ok:
+            raise RuntimeError(
+                f"create_pipeline {name!r} refused: tenant not admitted ({reason})"
+            )
         self.colza.create_pipeline(
-            library=input["library"], name=input["name"], config=input.get("config")
+            library=input["library"], name=name, config=input.get("config")
         )
         return "created"
 
     def _rpc_destroy(self, input: Dict[str, Any]) -> Generator:
         yield self.margo.sim.timeout(0)
-        self.colza.destroy_pipeline(input["name"])
+        name = input["name"]
+        # Tenant scoping (DESIGN §13): an admin handle bound to a tenant
+        # says so, and may only destroy — and thereby drop the staged
+        # data and recovery expectations of — its own pipelines. Before
+        # this check, any admin client could destroy another tenant's
+        # pipeline by guessing its wire name, yanking the state a
+        # recovering activate's expected-block list refers to.
+        caller = input.get("tenant")
+        if caller is not None and tenant_of(name) != caller:
+            raise RuntimeError(
+                f"destroy_pipeline {name!r} refused: owned by "
+                f"{tenant_of(name)!r}, caller is {caller!r}"
+            )
+        self.colza.destroy_pipeline(name)
         return "destroyed"
 
     def _rpc_leave(self, _input: Any) -> Generator:
@@ -76,7 +97,18 @@ class AdminProvider(Provider):
                 state = pipeline.get_state()
                 if state is None or not survivors:
                     continue
-                successor = survivors[0]
+                if tenant_of(name) == DEFAULT_TENANT:
+                    successor = survivors[0]
+                else:
+                    # Tenant pipelines spread their migrated state by
+                    # rendezvous instead of all landing on the first
+                    # survivor — a departing server shared by N tenants
+                    # must not turn one neighbor into everyone's
+                    # successor.
+                    successor = max(
+                        survivors,
+                        key=lambda s: (placement_rank(f"migrate#{name}", s), str(s)),
+                    )
                 yield from self.margo.provider_call(
                     successor, "colza", "migrate", {"pipeline": name, "state": state}
                 )
@@ -86,10 +118,25 @@ class AdminProvider(Provider):
 
 
 class ColzaAdmin:
-    """Client-side admin handle (a thin RPC wrapper)."""
+    """Client-side admin handle (a thin RPC wrapper).
 
-    def __init__(self, margo: MargoInstance):
+    Like :class:`~repro.core.client.ColzaClient`, an admin handle is
+    bound to one tenant: pipeline names are qualified on the wire and
+    destroys are validated server-side against the owning tenant.
+    """
+
+    def __init__(self, margo: MargoInstance, tenant: str = DEFAULT_TENANT):
         self.margo = margo
+        self.tenant = tenant
+
+    def _payload(self, name: str, extra: Optional[dict] = None) -> dict:
+        payload = dict(extra or {})
+        payload["name"] = qualify(self.tenant, name)
+        if self.tenant != DEFAULT_TENANT:
+            # Only tenant-bound admins say who they are; the default
+            # admin's wire payload stays byte-for-byte the legacy one.
+            payload["tenant"] = self.tenant
+        return payload
 
     def create_pipeline(
         self,
@@ -105,7 +152,7 @@ class ColzaAdmin:
                 server,
                 "colza-admin",
                 "create_pipeline",
-                {"name": name, "library": library, "config": config or {}},
+                self._payload(name, {"library": library, "config": config or {}}),
             )
         )
 
@@ -124,7 +171,7 @@ class ColzaAdmin:
     def destroy_pipeline(self, server: Address, name: str) -> Generator:
         return (
             yield from self.margo.provider_call(
-                server, "colza-admin", "destroy_pipeline", {"name": name}
+                server, "colza-admin", "destroy_pipeline", self._payload(name)
             )
         )
 

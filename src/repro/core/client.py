@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.distribution import get_policy
+from repro.core.tenancy import DEFAULT_TENANT, qualify
 from repro.margo import MargoInstance
 from repro.mercury import RpcError
 from repro.na.address import Address
@@ -31,7 +32,17 @@ __all__ = ["ColzaClient", "DistributedPipelineHandle", "PipelineHandle"]
 
 
 class ColzaClient:
-    """A connection to the staging area from one simulation process."""
+    """A connection to the staging area from one simulation process.
+
+    A client belongs to one *tenant* (DESIGN §13). The default tenant
+    is the unqualified legacy namespace; naming any other tenant makes
+    every pipeline handle wire-qualified as ``tenant#name``, so N
+    independent simulations share one provider group without their
+    registries, activation epochs or staged blocks ever colliding.
+    Non-default tenants should :meth:`attach` before use (admission
+    control) and :meth:`detach` when done (frees server-side state and
+    the admission slot).
+    """
 
     #: Deadline for the per-candidate ``get_view`` probe in
     #: :meth:`connect`. Class-level policy so chaos scenarios and
@@ -39,9 +50,15 @@ class ColzaClient:
     #: override it per-connection).
     CONTROL_TIMEOUT = 1.0
 
-    def __init__(self, margo: MargoInstance, group_file: GroupFile):
+    def __init__(
+        self,
+        margo: MargoInstance,
+        group_file: GroupFile,
+        tenant: str = DEFAULT_TENANT,
+    ):
         self.margo = margo
         self.group_file = group_file
+        self.tenant = tenant
         self.view: List[Address] = []
 
     # ------------------------------------------------------------------
@@ -63,13 +80,68 @@ class ColzaClient:
     def refresh_view(self) -> Generator:
         return (yield from self.connect())
 
+    def qualified(self, name: str) -> str:
+        """The wire-level pipeline name for this client's tenant."""
+        return qualify(self.tenant, name)
+
+    def attach(self) -> Generator:
+        """Register this client's tenant with every staging server.
+
+        Admission is all-or-nothing: if any server refuses (its
+        ``max_tenants`` is reached), the servers already attached are
+        detached again and the rejection is raised — a tenant must
+        never run on a subset of the group.
+        """
+        if not self.view:
+            yield from self.connect()
+        attached: List[Address] = []
+        for server in sorted(self.view):
+            reply = yield from self.margo.provider_call(
+                server, "colza", "tenant_attach", {"tenant": self.tenant},
+                timeout=self.CONTROL_TIMEOUT,
+            )
+            if reply["status"] != "attached":
+                for done in attached:
+                    try:
+                        yield from self.margo.provider_call(
+                            done, "colza", "tenant_detach",
+                            {"tenant": self.tenant},
+                            timeout=self.CONTROL_TIMEOUT,
+                        )
+                    except RpcError:
+                        pass
+                raise RpcError(
+                    f"tenant {self.tenant!r} rejected by {server}: "
+                    f"{reply.get('reason')}"
+                )
+            attached.append(server)
+        return attached
+
+    def detach(self) -> Generator:
+        """Drop this tenant everywhere: pipelines, staged data,
+        replicas, quota charges and the admission slot. Unreachable
+        servers are tolerated (a dead server's state died with it)."""
+        if not self.view:
+            yield from self.connect()
+        detached: List[Address] = []
+        for server in sorted(self.view):
+            try:
+                yield from self.margo.provider_call(
+                    server, "colza", "tenant_detach", {"tenant": self.tenant},
+                    timeout=self.CONTROL_TIMEOUT,
+                )
+            except RpcError:
+                continue
+            detached.append(server)
+        return detached
+
     def pipeline_handle(self, server: Address, name: str) -> "PipelineHandle":
-        return PipelineHandle(self, server, name)
+        return PipelineHandle(self, server, self.qualified(name))
 
     def distributed_pipeline_handle(
         self, name: str, policy: str = "block_id_mod"
     ) -> "DistributedPipelineHandle":
-        return DistributedPipelineHandle(self, name, policy=policy)
+        return DistributedPipelineHandle(self, self.qualified(name), policy=policy)
 
 
 class PipelineHandle:
@@ -359,7 +431,14 @@ class DistributedPipelineHandle:
         span = sim.trace.begin(
             "colza.stage", pipeline=self.name, iteration=iteration, block=block_id
         )
-        server = self.policy(block_id, metadata or {}, list(self.frozen_view))
+        # The policy sees the wire-level (tenant-qualified) pipeline
+        # name, so rendezvous placement keys become
+        # ``tenant#pipeline#block`` and never collide across tenants.
+        # Only the policy's copy is augmented — the wire metadata stays
+        # exactly what the caller staged.
+        policy_meta = dict(metadata or {})
+        policy_meta.setdefault("pipeline", self.name)
+        server = self.policy(block_id, policy_meta, list(self.frozen_view))
         handle = self.margo.expose(payload)
         result = yield from self.margo.provider_call(
             server,
@@ -442,6 +521,7 @@ class DistributedPipelineHandle:
         ``core.restage_fallbacks``)."""
         sim = self.margo.sim
         core = sim.metrics.scope("core")
+        tenant_scope = sim.metrics.scope(f"tenant.{self.client.tenant}")
         last_error: Optional[Exception] = None
         #: Block ids the servers already hold (confirmed by recovery).
         staged: set = set()
@@ -465,6 +545,7 @@ class DistributedPipelineHandle:
                         # blocks): fall back to a full re-stage, and
                         # say which blocks forced it.
                         core.counter("restage_fallbacks").inc()
+                        tenant_scope.counter("restage_fallbacks").inc()
                         sim.trace.add("colza.restage_fallback")
                         staged.clear()
                         yield from self.abort(iteration)
@@ -480,6 +561,7 @@ class DistributedPipelineHandle:
                 yield from self.deactivate(iteration)
                 sim.trace.end(span, outcome="ok")
                 core.counter("iterations_completed").inc()
+                tenant_scope.counter("iterations_completed").inc()
                 return view
             except RpcError as err:
                 last_error = err
@@ -490,6 +572,7 @@ class DistributedPipelineHandle:
                     error=type(err).__name__,
                 )
                 core.counter("iteration_retries").inc()
+                tenant_scope.counter("iteration_retries").inc()
                 yield from self.abort(iteration, keep_data=True)
                 if exhausted:
                     break

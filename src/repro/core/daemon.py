@@ -18,6 +18,7 @@ from typing import Generator, List, Optional, Tuple
 from repro.core.admin import AdminProvider, ColzaAdmin
 from repro.core.client import ColzaClient
 from repro.core.provider import ColzaProvider
+from repro.core.tenancy import DEFAULT_TENANT, TenancyConfig
 from repro.margo import MargoInstance
 from repro.mona import MonaInstance
 from repro.na import Fabric, get_cost_model
@@ -39,6 +40,7 @@ class ColzaDaemon:
         name: str,
         group_file: GroupFile,
         swim_config: Optional[SwimConfig] = None,
+        tenancy: Optional[TenancyConfig] = None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -47,8 +49,12 @@ class ColzaDaemon:
         self.margo = MargoInstance(sim, fabric, name, node_index, get_cost_model("mona"))
         self.mona = MonaInstance(sim, fabric, name, node_index)
         self.agent = SSGAgent(self.margo, group_file, config=swim_config)
-        self.provider = ColzaProvider(self.margo, self.agent, self.mona)
+        self.provider = ColzaProvider(self.margo, self.agent, self.mona, tenancy=tenancy)
         self.admin = AdminProvider(self.margo, self.provider, daemon=self)
+        if tenancy is not None:
+            # SSG lifecycle hook: an elastically joining daemon adopts
+            # the group's tenant roster before serving traffic.
+            self.agent.on_joined.append(self.provider.sync_tenant_roster)
         self.running = False
 
     # ------------------------------------------------------------------
@@ -95,6 +101,7 @@ class Deployment:
         fabric: Optional[Fabric] = None,
         swim_config: Optional[SwimConfig] = None,
         name_prefix: str = "colza",
+        tenancy: Optional[TenancyConfig] = None,
     ):
         # Per-instance naming keeps runs deterministic: daemon names (and
         # the RNG streams derived from them) don't depend on how many
@@ -106,6 +113,9 @@ class Deployment:
         self.cluster = cluster or Cluster(sim, nodes=64)
         self.fabric = fabric or Fabric(sim)
         self.swim_config = swim_config or SwimConfig()
+        #: Multi-tenant policy applied to every daemon (None = legacy
+        #: single-tenant behaviour, DESIGN §13).
+        self.tenancy = tenancy
         self.group_file = GroupFile()
         self.daemons: List[ColzaDaemon] = []
 
@@ -114,7 +124,8 @@ class Deployment:
         name = f"{self.name_prefix}-{next(self._names)}"
         self.cluster.place(name, node_index)
         return ColzaDaemon(
-            self.sim, self.fabric, node_index, name, self.group_file, self.swim_config
+            self.sim, self.fabric, node_index, name, self.group_file,
+            self.swim_config, tenancy=self.tenancy,
         )
 
     def live_daemons(self) -> List[ColzaDaemon]:
@@ -191,20 +202,30 @@ class Deployment:
         return result
 
     # ------------------------------------------------------------------
-    def make_client(self, node_index: int, name: Optional[str] = None) -> Tuple[MargoInstance, ColzaClient]:
+    def make_client(
+        self,
+        node_index: int,
+        name: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> Tuple[MargoInstance, ColzaClient]:
         """A client Margo instance + connected-later ColzaClient."""
         client_name = name or f"{self.name_prefix}-client-{next(self._names)}"
         self.cluster.place(client_name, node_index)
         margo = MargoInstance(
             self.sim, self.fabric, client_name, node_index, get_cost_model("mona")
         )
-        return margo, ColzaClient(margo, self.group_file)
+        return margo, ColzaClient(margo, self.group_file, tenant=tenant)
 
     def deploy_pipeline(
-        self, admin_margo: MargoInstance, name: str, library: str, config: Optional[dict] = None
+        self,
+        admin_margo: MargoInstance,
+        name: str,
+        library: str,
+        config: Optional[dict] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Generator:
         """Create the pipeline on every current member."""
-        admin = ColzaAdmin(admin_margo)
+        admin = ColzaAdmin(admin_margo, tenant=tenant)
         result = yield from admin.create_pipeline_everywhere(
             self.addresses(), name, library, config
         )

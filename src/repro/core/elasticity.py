@@ -108,15 +108,28 @@ class AutoScaler:
         core.gauge("staging_servers").set(len(self.experiment.deployment.live_daemons()))
         return decision
 
-    def step_from_trace(self) -> Generator:
+    def step_from_trace(self, pipeline: Optional[str] = None) -> Generator:
         """Observe the most recent ``colza.execute`` span and act on it.
 
         Convenience for harnesses that already trace the pipeline: no
         need to thread execute timings through the driver loop. Holds
         (without consuming cooldown) when no execute has finished yet.
+
+        ``pipeline`` restricts the observation to one (wire-level,
+        tenant-qualified) pipeline's spans. On a shared multi-tenant
+        fabric (DESIGN §13) an unfiltered scaler would react to
+        whichever tenant executed last — one noisy neighbor's slow
+        renders would grow the group on behalf of everyone else's
+        timings.
         """
         sim = self.experiment.sim
-        spans = [s for s in sim.trace.spans if s.name == "colza.execute" and s.end is not None]
+        spans = [
+            s
+            for s in sim.trace.spans
+            if s.name == "colza.execute"
+            and s.end is not None
+            and (pipeline is None or s.tags.get("pipeline") == pipeline)
+        ]
         if not spans:
             yield sim.timeout(0)
             return Decision("hold", "no execute span yet")

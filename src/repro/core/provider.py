@@ -20,7 +20,9 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.analysis.simtsan import Shared
 from repro.core.backend import Backend, StagedBlock, create_backend
 from repro.core.replication import ReplicaStore, recover_iteration, replicate_block
+from repro.core.tenancy import TenancyConfig, TenantRegistry, tenant_of
 from repro.margo import MargoInstance, Provider
+from repro.mercury import RpcError
 from repro.na.address import Address
 from repro.na.payload import MemoryHandle
 from repro.ssg import SSGAgent
@@ -52,7 +54,13 @@ class ColzaProvider(Provider):
     #: succeeded), so this only bounds a crash *during* recovery.
     RECOVERY_TIMEOUT = 2.0
 
-    def __init__(self, margo: MargoInstance, agent: SSGAgent, mona_instance):
+    def __init__(
+        self,
+        margo: MargoInstance,
+        agent: SSGAgent,
+        mona_instance,
+        tenancy: Optional[TenancyConfig] = None,
+    ):
         super().__init__(margo, "colza")
         self.agent = agent
         self.mona = mona_instance
@@ -77,6 +85,14 @@ class ColzaProvider(Provider):
         )
         #: Buddy copies of other members' staged blocks (DESIGN §11).
         self.replicas = ReplicaStore(sim=margo.sim, label=f"colza.replicas@{addr}")
+        #: Tenant admission + quota accounting (DESIGN §13). With no
+        #: explicit config every tenant is admitted unlimited and the
+        #: legacy single-tenant behaviour is unchanged.
+        self.tenants = TenantRegistry(
+            margo.sim, tenancy, label=f"colza.tenants@{addr}"
+        )
+        if tenancy is not None and tenancy.fair_share:
+            margo.xstream.enable_fair_share()
         #: Leave was requested while frozen; honored at deactivate.
         self._leave_deferred = False
         self.leaving = False
@@ -98,6 +114,9 @@ class ColzaProvider(Provider):
         self.export("replicate", self._rpc_replicate)
         self.export("inventory", self._rpc_inventory)
         self.export("fetch_block", self._rpc_fetch_block)
+        self.export("tenant_attach", self._rpc_tenant_attach)
+        self.export("tenant_detach", self._rpc_tenant_detach)
+        self.export("tenant_roster", self._rpc_tenant_roster)
 
         # React to membership changes (the paper's registered callbacks).
         agent.observer = self._on_membership_change
@@ -144,6 +163,7 @@ class ColzaProvider(Provider):
         if backend is not None:
             backend.destroy()
             self.replicas.drop_pipeline(name)
+            self.tenants.release_pipeline(name)
 
     def request_leave(self) -> bool:
         """Ask this server to leave; deferred while frozen.
@@ -157,6 +177,84 @@ class ColzaProvider(Provider):
         return True
 
     # ------------------------------------------------------------------
+    # tenancy (DESIGN §13)
+    def _stamp_tenant(self, name: str) -> str:
+        """Attribute the current handler task to the pipeline's tenant.
+
+        The stamp is what fair-share xstream scheduling groups by; it is
+        inherited by any ULT the handler spawns (backend collectives,
+        replica forwards), so a tenant's whole execute tree shares one
+        round-robin slot.
+        """
+        tenant = tenant_of(name)
+        task = self.margo.sim.current_task
+        if task is not None:
+            task.tenant = tenant
+        return tenant
+
+    def _rpc_tenant_attach(self, input: dict) -> Generator:
+        yield self.margo.sim.timeout(0)
+        ok, reason = self.tenants.admit(input["tenant"])
+        return {"status": "attached" if ok else "rejected", "reason": reason}
+
+    def _rpc_tenant_detach(self, input: dict) -> Generator:
+        """Evict one tenant: its pipelines, staged data, replicas and
+        quota charges go; every other tenant's state is untouched
+        (their pipelines are not even visible under this tenant's
+        qualified names)."""
+        yield self.margo.sim.timeout(0)
+        tenant = input["tenant"]
+        owned = sorted(
+            pname for pname in self.pipelines if tenant_of(pname) == tenant
+        )
+        for pname in owned:
+            for key in sorted(k for k in self._active if k[0] == pname):
+                self._active.pop(key, None)
+            for key in sorted(k for k in self._prepared if k[0] == pname):
+                self._prepared.pop(key, None)
+            self.destroy_pipeline(pname)
+        known = self.tenants.detach(tenant)
+        return {
+            "status": "detached" if known else "not-attached",
+            "pipelines_dropped": owned,
+        }
+
+    def _rpc_tenant_roster(self, _input: Any) -> Generator:
+        """Admitted tenants here — pulled by elastically joining daemons
+        so an established tenant never flaps back through admission on a
+        grown group (see ColzaDaemon)."""
+        yield self.margo.sim.timeout(0)
+        return self.tenants.tenants()
+
+    def sync_tenant_roster(self, joined: bool) -> Generator:
+        """SSG post-join hook: adopt a peer's tenant roster (DESIGN §13).
+
+        An elastically added server would otherwise admit tenants lazily
+        in whatever order their activates arrive — under a full
+        admission table, a tenant attached before the join could lose
+        its slot to a later arrival on the new member only, wedging its
+        activates with split ``tenant-rejected`` votes. Pulling the
+        roster once at join time keeps admission decisions uniform
+        across the group. Registered only on tenancy-configured
+        daemons, so legacy deployments' join path is untouched.
+        """
+        if not joined:
+            return None
+        peers = [a for a in self.view() if a != self.address]
+        for peer in sorted(peers):
+            try:
+                roster = yield from self.margo.provider_call(
+                    peer, "colza", "tenant_roster", {},
+                    timeout=self.RECOVERY_TIMEOUT,
+                )
+            except RpcError:
+                continue
+            for tenant in roster:
+                self.tenants.admit(tenant)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
     # 2PC (client-coordinated)
     def _rpc_activate_prepare(self, input: dict) -> Generator:
         yield self.margo.sim.timeout(0)
@@ -165,6 +263,9 @@ class ColzaProvider(Provider):
         proposed: Tuple[Address, ...] = tuple(input["view"])
         if name not in self.pipelines:
             return {"vote": "no", "reason": "no-such-pipeline", "view": self.view()}
+        ok, _reason = self.tenants.admit(tenant_of(name))
+        if not ok:
+            return {"vote": "no", "reason": "tenant-rejected", "view": self.view()}
         if self.leaving:
             return {"vote": "no", "reason": "leaving", "view": self.view()}
         mine = tuple(self.view())
@@ -179,6 +280,7 @@ class ColzaProvider(Provider):
         name = input["pipeline"]
         iteration = input["iteration"]
         key = (name, iteration)
+        tenant = self._stamp_tenant(name)
         view = self._prepared.pop(key, None)
         if view is None:
             raise RuntimeError(f"commit without prepare for {key}")
@@ -201,8 +303,12 @@ class ColzaProvider(Provider):
             # double ownership. Purge it.
             pipeline.discard(iteration)
             self.replicas.drop_iteration(name, iteration)
+            self.tenants.release(name, iteration)
         yield from pipeline.activate(iteration, list(view))
         self.margo.sim.metrics.scope("core").counter("activations_committed").inc()
+        self.margo.sim.metrics.scope(f"tenant.{tenant}").counter(
+            "activations_committed"
+        ).inc()
         return result
 
     def _rpc_activate_abort(self, input: dict) -> Generator:
@@ -221,24 +327,42 @@ class ColzaProvider(Provider):
                 f"stage for inactive iteration {iteration} of {name!r}"
             )
         handle: MemoryHandle = input["handle"]
-        # Pull the data from the simulation's memory via RDMA (§II-B).
-        payload = yield self.margo.bulk_pull(handle)
-        # The RDMA pull suspended us for a while; the iteration may have
-        # been deactivated (or aborted and re-activated — a new epoch)
-        # in the meantime. Refuse to write into the wrong activation.
-        if self._active.get((name, iteration)) != epoch:
-            raise RuntimeError(
-                f"stage raced deactivate for iteration {iteration} of {name!r}"
-            )
-        block = StagedBlock(
-            block_id=input["block_id"], metadata=dict(input.get("metadata") or {}),
-            payload=payload,
+        block_id = input["block_id"]
+        tenant = self._stamp_tenant(name)
+        # Quota admission (DESIGN §13): reserve the block against the
+        # tenant's budget *before* pulling any data. Over quota, this
+        # backpressures — waiting for an earlier iteration's deactivate
+        # to free room — instead of failing outright.
+        yield from self.tenants.reserve(
+            tenant, name, iteration, block_id, handle.nbytes,
+            still_valid=lambda: self._active.get((name, iteration)) == epoch,
         )
-        pipeline = self.pipelines[name]
-        yield from pipeline.stage(iteration, block)
+        try:
+            # Pull the data from the simulation's memory via RDMA (§II-B).
+            payload = yield self.margo.bulk_pull(handle)
+            # The RDMA pull suspended us for a while; the iteration may
+            # have been deactivated (or aborted and re-activated — a new
+            # epoch) in the meantime. Refuse to write into the wrong
+            # activation.
+            if self._active.get((name, iteration)) != epoch:
+                raise RuntimeError(
+                    f"stage raced deactivate for iteration {iteration} of {name!r}"
+                )
+            block = StagedBlock(
+                block_id=block_id, metadata=dict(input.get("metadata") or {}),
+                payload=payload,
+            )
+            pipeline = self.pipelines[name]
+            yield from pipeline.stage(iteration, block)
+        except BaseException:
+            self.tenants.uncharge(tenant, name, iteration, block_id)
+            raise
         core = self.margo.sim.metrics.scope("core")
         core.counter("blocks_staged").inc()
         core.counter("bytes_staged").inc(handle.nbytes)
+        scope = self.margo.sim.metrics.scope(f"tenant.{tenant}")
+        scope.counter("blocks_staged").inc()
+        scope.counter("bytes_staged").inc(handle.nbytes)
         factor = pipeline.replication_factor
         view = list(pipeline.current_view)
         if factor >= 2 and len(view) >= 2:
@@ -250,9 +374,11 @@ class ColzaProvider(Provider):
         iteration = input["iteration"]
         if (name, iteration) not in self._active:
             raise RuntimeError(f"execute for inactive iteration {iteration} of {name!r}")
+        tenant = self._stamp_tenant(name)
         pipeline = self.pipelines[name]
         yield from pipeline.execute(iteration)
         self.margo.sim.metrics.scope("core").counter("executes").inc()
+        self.margo.sim.metrics.scope(f"tenant.{tenant}").counter("executes").inc()
         return "executed"
 
     def _rpc_deactivate(self, input: dict) -> Generator:
@@ -269,6 +395,9 @@ class ColzaProvider(Provider):
             # the next activate can recover instead of re-staging.
             yield from pipeline.deactivate(iteration)
             self.replicas.drop_iteration(name, iteration)
+            # The iteration's data is gone: free its quota charges,
+            # waking any of this tenant's stages backpressured on room.
+            self.tenants.release(name, iteration)
         if not self._active and self._leave_deferred:
             self._leave_deferred = False
             self.leaving = True

@@ -39,8 +39,10 @@ import hashlib
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.backend import StagedBlock
+from repro.core.tenancy import tenant_of
 from repro.mercury import RpcError
 from repro.na.address import Address
+from repro.na.payload import payload_nbytes
 
 __all__ = [
     "ReplicaStore",
@@ -316,6 +318,14 @@ def recover_iteration(
         # the *next* recovery pass into double ownership.
         if provider._active.get(key) != epoch:
             break
+        # Ownership moves here, so the quota charge moves with it
+        # (DESIGN §13): the dead owner's accounting died with it.
+        # Charged before the stage completes — a staged block must be
+        # covered by a charge at every instant (TenantIsolation).
+        provider.tenants.charge(
+            tenant_of(pipeline_name), pipeline_name, iteration,
+            block_id, payload_nbytes(block.payload),
+        )
         yield from pipeline.stage(iteration, block)
         adopted += 1
         core.counter("blocks_recovered").inc()

@@ -312,7 +312,7 @@ class Task:
 
     __slots__ = (
         "sim", "name", "gen", "done", "_waiting_on", "_resume_cb",
-        "trace_parent", "trace_stack", "clock",
+        "trace_parent", "trace_stack", "clock", "tenant",
     )
 
     def __init__(self, sim: "Simulation", gen: Coroutine, name: str = ""):
@@ -332,6 +332,11 @@ class Task:
         #: one uninterrupted run slice (no yield between them) — the
         #: happens-before primitive SimTSan builds on.
         self.clock = 0
+        #: Tenant attribution for fair-share scheduling: RPC handlers
+        #: stamp the tenant owning the work so shared resources (e.g.
+        #: an xstream core in fair-share mode) can group by it. None
+        #: means unattributed (legacy FIFO behaviour).
+        self.tenant: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -577,6 +582,8 @@ class Simulation:
     def spawn(self, gen: Coroutine, name: str = "") -> Task:
         """Create a task from a generator and schedule its first step."""
         task = Task(self, gen, name)
+        if self._current_task is not None:
+            task.tenant = self._current_task.tenant
         self.trace.inherit(task)
         self.tasks.append(task)
         if len(self.tasks) >= self._task_prune_at:
@@ -595,6 +602,8 @@ class Simulation:
         if when < self._now:
             raise ValueError(f"spawn_at({when}) is in the past (now={self._now})")
         task = Task(self, gen, name)
+        if self._current_task is not None:
+            task.tenant = self._current_task.tenant
         self.trace.inherit(task)
         self.tasks.append(task)
         self._schedule_at(when, task._start)

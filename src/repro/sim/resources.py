@@ -9,7 +9,7 @@ simulator models "a blocking MPI call spins on its core".
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generator, Optional
+from typing import Deque, Dict, Generator, List, Optional
 
 from repro.sim.kernel import Event, Simulation
 
@@ -54,6 +54,14 @@ class Resource:
             yield sim.timeout(cost)
 
     or the one-shot helper ``yield from resource.use(cost)``.
+
+    By default waiters are served in strict FIFO order. A resource can
+    instead be switched to *fair-share* mode (:meth:`enable_fair_share`)
+    where each waiter carries a group label and grants round-robin
+    across groups — the scheduling policy behind per-tenant fair-share
+    on Argobots xstreams (DESIGN §13). The FIFO path is untouched by
+    the feature: unless fair-share is explicitly enabled, behaviour is
+    identical to the original deque, event for event.
     """
 
     def __init__(self, sim: Simulation, capacity: int = 1, name: str = "resource"):
@@ -67,6 +75,12 @@ class Resource:
         # Cumulative busy integral for utilization reporting.
         self._busy_since: Optional[float] = None
         self._busy_time = 0.0
+        # Fair-share mode: per-group FIFO queues plus a rotation list in
+        # first-seen order; ``_rr`` points at the next group to serve.
+        self._fair = False
+        self._group_queues: Dict[str, Deque[Event]] = {}
+        self._rotation: List[str] = []
+        self._rr = 0
 
     # ------------------------------------------------------------------
     @property
@@ -75,9 +89,40 @@ class Resource:
         return self._in_use
 
     @property
+    def fair_share(self) -> bool:
+        """Whether grants round-robin across groups instead of FIFO."""
+        return self._fair
+
+    @property
     def queue_length(self) -> int:
         """Number of tasks waiting for a grant."""
+        if self._fair:
+            return sum(
+                sum(1 for ev in q if not ev.fired)
+                for q in self._group_queues.values()
+            )
         return len(self._waiters)
+
+    def enable_fair_share(self) -> None:
+        """Switch waiter service from FIFO to round-robin by group.
+
+        Must be called while no waiters are queued (in practice: at
+        deployment time, before traffic) so no FIFO waiter's ordering
+        guarantee is silently rewritten.
+        """
+        if self._waiters:
+            raise RuntimeError(
+                f"enable_fair_share() on {self.name!r} with pending FIFO waiters"
+            )
+        self._fair = True
+
+    def pending_groups(self) -> List[str]:
+        """Groups with at least one pending waiter (fair-share mode)."""
+        return sorted(
+            g
+            for g, q in self._group_queues.items()
+            if any(not ev.fired for ev in q)
+        )
 
     def busy_time(self) -> float:
         """Total simulated time during which at least one grant was held."""
@@ -87,13 +132,22 @@ class Resource:
         return total
 
     # ------------------------------------------------------------------
-    def acquire(self) -> Event:
-        """Event granting a unit of capacity (fires FIFO)."""
+    def acquire(self, group: Optional[str] = None) -> Event:
+        """Event granting a unit of capacity (fires FIFO, or round-robin
+        by ``group`` in fair-share mode; ungrouped waiters share the
+        ``""`` group there)."""
         ev = Event(self.sim, name=f"{self.name}.acquire")
         if self._in_use < self.capacity:
             self._grant(ev)
-        else:
+        elif not self._fair:
             self._waiters.append(ev)
+        else:
+            label = group or ""
+            queue = self._group_queues.get(label)
+            if queue is None:
+                queue = self._group_queues[label] = deque()
+                self._rotation.append(label)
+            queue.append(ev)
         return ev
 
     def release(self, _grant: object = None) -> None:
@@ -104,6 +158,9 @@ class Resource:
         if self._in_use == 0 and self._busy_since is not None:
             self._busy_time += self.sim.now - self._busy_since
             self._busy_since = None
+        if self._fair:
+            self._grant_next_fair()
+            return
         while self._waiters:
             ev = self._waiters.popleft()
             if ev.fired:
@@ -111,14 +168,33 @@ class Resource:
             self._grant(ev)
             break
 
-    def use(self, duration: float) -> Generator[Event, object, None]:
+    def _grant_next_fair(self) -> None:
+        """Serve the next pending group after ``_rr``, round-robin.
+
+        Groups rotate in first-seen order, which is deterministic under
+        the kernel's deterministic schedule; a group with no pending
+        waiter is skipped without losing its turn marker.
+        """
+        count = len(self._rotation)
+        for offset in range(count):
+            index = (self._rr + offset) % count
+            queue = self._group_queues[self._rotation[index]]
+            while queue:
+                ev = queue.popleft()
+                if ev.fired:
+                    continue  # cancelled waiter
+                self._rr = (index + 1) % count
+                self._grant(ev)
+                return
+
+    def use(self, duration: float, group: Optional[str] = None) -> Generator[Event, object, None]:
         """Acquire, hold for ``duration`` simulated seconds, release.
 
         Interrupt-safe: an interrupt while queued withdraws the pending
         acquire (releasing the grant if it raced in); an interrupt while
         holding releases the grant.
         """
-        grant_ev = self.acquire()
+        grant_ev = self.acquire(group)
         try:
             yield grant_ev
         except BaseException:
@@ -136,6 +212,14 @@ class Resource:
 
     def cancel(self, ev: Event) -> None:
         """Withdraw a pending acquire (no-op if already granted)."""
+        if self._fair:
+            for queue in self._group_queues.values():
+                try:
+                    queue.remove(ev)
+                    return
+                except ValueError:
+                    continue
+            return
         try:
             self._waiters.remove(ev)
         except ValueError:

@@ -80,6 +80,13 @@ class SSGAgent(Provider):
         #: Additional membership listeners (invariant monitors, metrics)
         #: notified after ``observer``; see :meth:`add_observer`.
         self._extra_observers: List[Callable[[str, Address], None]] = []
+        #: Post-join lifecycle hooks: generators invoked (in order,
+        #: inside :meth:`start`, after the protocol loop is running)
+        #: with ``joined`` — True when this agent joined an existing
+        #: group, False when it founded one. Services layered on SSG
+        #: (e.g. the Colza provider's tenant-roster sync, DESIGN §13)
+        #: use this to pull state from peers exactly once per join.
+        self.on_joined: List[Callable[[bool], Generator]] = []
         self.running = False
         self._outbox: Dict[Update, int] = {}
         self._probe_order: List[Address] = []
@@ -158,6 +165,8 @@ class SSGAgent(Provider):
             self._loop_ult = self.margo.spawn(
                 self._protocol_loop(), name=f"ssg.loop@{self.address}"
             )
+            for hook in list(self.on_joined):
+                yield from hook(joined)
         return None
 
     def leave(self) -> Generator:

@@ -30,6 +30,7 @@ DETERMINISM_SUBSET = [
     "combo_random",
     "replicated_crash_owner_mid_iteration",
     "replicated_owner_and_buddy_crash",
+    "tenant_recovery_race",
 ]
 
 

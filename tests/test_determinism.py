@@ -96,6 +96,12 @@ GOLDEN_DIGESTS = {
     ("drop_during_2pc", 11): "f99fa7dd6101f7e6535b7e015ed4af80696d8985100937190f11f644feadf94e",
     ("churn_stress", 3): "6fa6480a576a257c2f4e0bbbaddd4b591982672a3f4b6a302a726d14415cace9",
     ("churn_stress", 11): "8f0d421448c1df304bfd94dce4d3662523080ff1821a327f8c963a5cac0beff0",
+    # Multi-tenant fabric (DESIGN §13): the tenancy layer shares the
+    # same determinism contract — concurrent tenants, quota waits and
+    # fair-share rotation must all replay bit-identically.
+    ("tenant_churn_storm", 3): "4060e507a5f3420db781aeee34fee9c423705c51c218210b2f83a48f3bf80a7b",
+    ("tenant_owner_crash_recovery_isolated", 3): "80bd6bf3b0106d5fe7088f294f45d2a54056fef5ad79e84011572247d8fce05c",
+    ("tenant_recovery_race", 3): "cf1f13c1e9650ccf96fbe5011344eccf40bc103d558dc28cc2e8286e147c7c2c",
 }
 
 

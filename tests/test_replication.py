@@ -356,3 +356,51 @@ def test_connect_probe_uses_class_level_control_timeout():
     elapsed = sim.now - t0
     assert len(view) >= 1
     assert 0.25 <= elapsed < 1.0  # the probe honored the tuned timeout
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant placement (DESIGN §13): tenant-prefixed rendezvous keys
+def test_tenant_placement_never_collides_and_ignores_other_tenants():
+    from repro.core.tenancy import qualify
+
+    view = _view(5)
+    # Wire-level placement keys are disjoint across tenants even for
+    # identical pipeline names, iterations and block ids.
+    keys = set()
+    for tenant in ("alpha", "beta", "default"):
+        name = qualify(tenant, "pipe")
+        for iteration in (1, 2):
+            for block_id in range(8):
+                key = f"{name}#{iteration}#{block_id}"
+                assert key not in keys
+                keys.add(key)
+    # Owner assignment is a pure function of (key, view): evaluating
+    # another tenant's placement between two calls cannot perturb it.
+    before = {b: block_owner("alpha#pipe", 1, b, view) for b in range(16)}
+    for b in range(16):
+        block_owner("beta#pipe", 1, b, view)
+        block_owner("pipe", 1, b, view)
+    after = {b: block_owner("alpha#pipe", 1, b, view) for b in range(16)}
+    assert before == after
+
+
+def test_tenant_placement_stable_under_view_changes():
+    """The HRW minimal-disruption property holds per tenant: removing
+    one member only moves the blocks that member owned — every other
+    tenant-qualified key keeps its owner (so one tenant's churn or a
+    shared member's death never reshuffles a neighbor's placement)."""
+    view = _view(6)
+    removed = view[2]
+    shrunk = [m for m in view if m != removed]
+    for name in ("alpha#pipe", "beta#pipe", "beta#render", "pipe"):
+        for iteration in (1, 2):
+            for block_id in range(16):
+                owner = block_owner(name, iteration, block_id, view)
+                if owner == removed:
+                    continue
+                assert block_owner(name, iteration, block_id, shrunk) == owner
+    # And buddies never cross tenants either: the buddy SET for a key
+    # depends only on that key and the view.
+    buddies = replica_buddies("alpha#pipe", 1, 0, view[0], view, 3)
+    replica_buddies("beta#pipe", 1, 0, view[0], view, 3)
+    assert replica_buddies("alpha#pipe", 1, 0, view[0], view, 3) == buddies
