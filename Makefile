@@ -1,6 +1,6 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test chaos lint check report fuzz bench bench-trajectory bench-trajectory-update examples results clean
+.PHONY: install test chaos lint check check-fast report sarif fuzz bench bench-trajectory bench-trajectory-update bench-analysis bench-analysis-update examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,8 +17,17 @@ lint:
 check:
 	PYTHONPATH=src python -m repro.analysis check src
 
+# Incremental flowcheck: report only the callgraph closure of the git
+# diff vs HEAD (whole tree is still analyzed — see
+# repro/analysis/incremental.py for the soundness argument).
+check-fast:
+	PYTHONPATH=src python -m repro.analysis check --changed
+
 report:
 	@PYTHONPATH=src python -m repro.analysis report --json src
+
+sarif:
+	@PYTHONPATH=src python -m repro.analysis report --sarif src
 
 fuzz:
 	PYTHONPATH=src python -m repro.analysis fuzz -n 5
@@ -35,6 +44,14 @@ bench-trajectory:
 
 bench-trajectory-update:
 	PYTHONPATH=src python -m repro.bench trajectory --update
+
+# Static-analysis trajectory: whole-tree flowcheck wall time and
+# finding counts, gated against the committed BENCH_analysis.json.
+bench-analysis:
+	PYTHONPATH=src python -m repro.bench trajectory --suite analysis --check
+
+bench-analysis-update:
+	PYTHONPATH=src python -m repro.bench trajectory --suite analysis --update
 
 examples:
 	python examples/quickstart.py

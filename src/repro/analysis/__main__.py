@@ -3,14 +3,18 @@
 ::
 
     python -m repro.analysis lint [paths...] [--json] [--select DET001,DET003]
-    python -m repro.analysis check [paths...] [--select FC001,FC006] [--show-suppressed]
-    python -m repro.analysis report [paths...] --json
+    python -m repro.analysis check [paths...] [--select FC001,FC010] [--show-suppressed]
+    python -m repro.analysis check --changed [REF]
+    python -m repro.analysis report [paths...] [--json | --sarif]
     python -m repro.analysis fuzz [--scenario NAME] [--seed N] [-n N | --fuzz-seeds 0,1,2] [--json]
 
 ``lint`` (detlint) and ``check`` (flowcheck) exit 1 if any unsuppressed
-finding remains; ``report`` merges both into one SARIF-lite JSON
-document and exits 1 under the same condition; ``fuzz`` exits 1 if any
-perturbed schedule produces an invariant violation or an invariant
+finding remains; ``check --changed REF`` restricts the *reported* file
+set to the callgraph closure of the git diff against REF (default HEAD)
+while still analyzing the whole tree; ``report`` merges both into one
+document — SARIF-lite JSON by default, real SARIF 2.1.0 with
+``--sarif`` — and exits 1 under the same condition; ``fuzz`` exits 1 if
+any perturbed schedule produces an invariant violation or an invariant
 digest differing from the unperturbed baseline.
 """
 
@@ -42,6 +46,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis.flowcheck import run_check
 
     select = args.select.split(",") if args.select else None
+    if args.changed is not None:
+        from repro.analysis.incremental import run_changed
+
+        try:
+            result = run_changed(ref=args.changed, select=select)
+        except RuntimeError as exc:
+            print(f"flowcheck --changed: {exc}", file=sys.stderr)
+            return 2
+        print(result.render(show_suppressed=args.show_suppressed))
+        return 0 if result.ok else 1
     report = run_check(_default_paths(args), select=select, root=args.root)
     print(report.render(show_suppressed=args.show_suppressed))
     return 0 if report.ok else 1
@@ -51,7 +65,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import run_report
 
     report = run_report(_default_paths(args), root=args.root)
-    print(report.to_json())
+    print(report.to_sarif() if args.sarif else report.to_json())
     return 0 if report.ok else 1
 
 
@@ -116,8 +130,16 @@ def main(argv=None) -> int:
 
     check = sub.add_parser("check", help="run the flowcheck dataflow passes")
     check.add_argument("paths", nargs="*", help="files/directories (default: src tree)")
-    check.add_argument("--select", help="comma-separated rule ids (FC001..FC006)")
+    check.add_argument("--select", help="comma-separated rule ids (FC001..FC010)")
     check.add_argument("--root", help="path findings are reported relative to")
+    check.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        metavar="REF",
+        help="report only the callgraph closure of the git diff against REF"
+        " (default HEAD); the whole tree is still analyzed for soundness",
+    )
     check.add_argument(
         "--show-suppressed",
         action="store_true",
@@ -133,7 +155,12 @@ def main(argv=None) -> int:
     )
     report.add_argument("--root", help="path findings are reported relative to")
     report.add_argument(
-        "--json", action="store_true", help="accepted for symmetry; always JSON"
+        "--json", action="store_true", help="SARIF-lite JSON (the default)"
+    )
+    report.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit SARIF 2.1.0 (for github code-scanning upload)",
     )
     report.set_defaults(fn=_cmd_report)
 

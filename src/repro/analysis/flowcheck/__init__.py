@@ -18,7 +18,22 @@ FC005     collective divergence — MoNA/MPI/IceT collectives reachable
           under rank-dependent branches whose arms disagree
 FC006     RPC contract — forward/provider_call name strings resolve
           to registered handlers with compatible arity; orphans
+FC007     tenant-taint — names derived from a tenant id / client
+          pipeline name must pass tenancy.qualify() before wire,
+          ownership-key or rendezvous-hash sinks (Isoguard engine)
+FC008     epoch-guard — a yield while holding a (pipeline, iteration)
+          activation epoch must be followed by epoch re-validation
+          before any staged/replica/quota mutation
+FC009     quota-balance — tenant charge/reserve matched by release on
+          every path, including exception/abort/patience exits
+FC010     metric-contract — consumed counters/gauges/span names are
+          registered, updated somewhere, and not double-counted
 ========  ==========================================================
+
+FC007–FC010 (the *Isoguard* passes, DESIGN §14) share an
+interprocedural field-sensitive taint engine in
+:mod:`repro.analysis.flowcheck.taint`; their diagnostics carry witness
+paths (call chain plus the unqualified sink or unvalidated yield).
 
 Suppression uses the detlint grammar with the ``flowcheck`` tool name::
 

@@ -84,4 +84,8 @@ from repro.analysis.flowcheck.passes import (  # noqa: E402,F401
     locks,
     collectives,
     rpc,
+    tenancy,
+    epochs,
+    quota,
+    metrics,
 )

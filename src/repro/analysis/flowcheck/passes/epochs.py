@@ -1,0 +1,252 @@
+"""FC008: epoch-guard — re-validate activation epochs after yields.
+
+The provider's ``(pipeline, iteration) -> epoch`` table
+(``self._active``) is the staging fabric's truth about which
+activation owns staged state.  Handlers capture the epoch on entry and
+then *yield* — RPC forwards, RDMA ``bulk_pull``, event waits — and in
+a cooperative simulation every yield is exactly where a concurrent
+deactivate/abort/re-activate can retire the epoch.  The contract
+(hand-enforced in PRs 5 and 7, cf. ``provider.py``'s stage handler):
+**between any yield and the next mutation of staged-block, replica or
+quota state, the epoch must be re-validated** — an ``_active``
+comparison/membership test, or a ``still_valid`` guard threaded into
+the waiting primitive.
+
+Scope: functions whose body mentions an ``_active`` attribute (they
+hold or check an epoch).  The pass runs a linearized statement scan
+per function tracking one bit — *dirty*, "a yield happened since the
+last validation":
+
+- a **yield** sets dirty (after the statement's own checks — a
+  ``yield from pipeline.stage(...)`` that was validated immediately
+  before is the blessed pattern);
+- a **validation** clears dirty: an ``_active`` read inside a
+  comparison, an ``if``/``while``/``assert`` test mentioning
+  ``_active``, or any mention of ``still_valid``;
+- a **mutation** while dirty is the finding.  Mutations are calls of
+  ``.stage()``/``.discard()`` on a non-self receiver, replica-store
+  writes (``put``/``pop``/``drop_iteration``/``drop_pipeline`` on a
+  receiver containing ``replica``), quota movements
+  (``charge``/``uncharge``/``release``/``release_pipeline`` on a
+  receiver containing ``tenant``) and subscript stores into a
+  ``staged``-named container.
+
+``except``/``finally`` bodies are exempt from the mutation check:
+compensation there *must* run regardless of the epoch (an aborted
+stage uncharges its reservation unconditionally).  Operations on the
+``_active``/``_prepared`` tables themselves are epoch lifecycle, not
+guarded state.  Branch merges are pessimistic (dirty if any branch
+was); loop bodies are scanned twice so a yield at the bottom flags an
+unvalidated mutation at the top.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import (
+    FunctionInfo,
+    Program,
+    dotted_name,
+    receiver_of,
+)
+from repro.analysis.flowcheck.passes import Raw, flowpass
+
+PIPELINE_MUTATORS = {"stage", "discard"}
+REPLICA_MUTATORS = {"put", "pop", "drop_iteration", "drop_pipeline"}
+QUOTA_MUTATORS = {"charge", "uncharge", "release", "release_pipeline"}
+#: Epoch bookkeeping tables — operations on them ARE the lifecycle.
+EPOCH_TABLES = ("_active", "_prepared")
+
+
+def _mentions_active(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Attribute) and child.attr == "_active"
+        for child in ast.walk(node)
+    )
+
+
+def _mentions_still_valid(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == "still_valid":
+            return True
+        if isinstance(child, ast.Attribute) and child.attr == "still_valid":
+            return True
+        if isinstance(child, ast.keyword) and child.arg == "still_valid":
+            return True
+    return False
+
+
+def _is_validation(stmt: ast.stmt) -> bool:
+    """Does this statement re-establish the epoch?"""
+    if _mentions_still_valid(stmt):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Compare) and _mentions_active(node):
+            return True
+    return False
+
+
+def _test_validates(test: ast.expr) -> bool:
+    return _mentions_active(test) or _mentions_still_valid(test)
+
+
+def _has_yield(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _mutations(stmt: ast.stmt) -> Iterator[Tuple[int, int, str]]:
+    """(line, col, description) of guarded-state mutations in stmt."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = receiver_of(node) or ""
+            attr = node.func.attr
+            if any(table in receiver for table in EPOCH_TABLES):
+                continue
+            if attr in PIPELINE_MUTATORS and receiver not in ("", "self"):
+                yield (
+                    node.lineno, node.col_offset,
+                    f"{receiver}.{attr}() mutates staged state",
+                )
+            elif attr in REPLICA_MUTATORS and "replica" in receiver.lower():
+                yield (
+                    node.lineno, node.col_offset,
+                    f"{receiver}.{attr}() mutates the replica store",
+                )
+            elif attr in QUOTA_MUTATORS and "tenant" in receiver.lower():
+                yield (
+                    node.lineno, node.col_offset,
+                    f"{receiver}.{attr}() moves quota charges",
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    receiver = dotted_name(target.value) or ""
+                    if "staged" in receiver and not any(
+                        table in receiver for table in EPOCH_TABLES
+                    ):
+                        yield (
+                            target.lineno, target.col_offset,
+                            f"store into {receiver}[...] mutates staged state",
+                        )
+
+
+class _Scan:
+    def __init__(self, fn: FunctionInfo):
+        self.fn = fn
+        self.findings: List[Raw] = []
+        self.last_yield: Optional[int] = None
+
+    def run(self) -> List[Raw]:
+        self._block(self.fn.node.body, dirty=False)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    def _block(self, body: List[ast.stmt], dirty: bool, in_handler: bool = False) -> bool:
+        for stmt in body:
+            dirty = self._stmt(stmt, dirty, in_handler)
+        return dirty
+
+    def _stmt(self, stmt: ast.stmt, dirty: bool, in_handler: bool) -> bool:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return dirty
+        if isinstance(stmt, ast.If):
+            validates = _test_validates(stmt.test)
+            inner = False if validates else dirty
+            body_dirty = self._block(stmt.body, inner, in_handler)
+            else_dirty = self._block(stmt.orelse, inner, in_handler)
+            exits = _always_exits(stmt.body)
+            if validates:
+                # `if self._active.get(key) != epoch: <bail>` — the
+                # continuation is validated whichever arm ran.
+                return body_dirty if not exits else else_dirty
+            return body_dirty or else_dirty
+        if isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.While) and _test_validates(stmt.test):
+                dirty = False
+            # Two passes: the second sees the back-edge's dirty state.
+            once = self._first_pass_quiet(stmt.body, dirty, in_handler)
+            final = self._block(stmt.body, once, in_handler)
+            final = self._block(stmt.orelse, final or dirty, in_handler)
+            return final or dirty
+        if isinstance(stmt, ast.Try):
+            body_dirty = self._block(stmt.body, dirty, in_handler)
+            for handler in stmt.handlers:
+                # Compensation paths run precisely because the epoch's
+                # fate is unknown — exempt from the mutation check.
+                self._block(handler.body, body_dirty, in_handler=True)
+            else_dirty = self._block(stmt.orelse, body_dirty, in_handler)
+            return self._block(stmt.finalbody, else_dirty, in_handler=True)
+        if isinstance(stmt, ast.With):
+            return self._block(stmt.body, dirty, in_handler)
+
+        # Leaf statement: check mutations against the *pre* state,
+        # then validation, then this statement's own yields.
+        if dirty and not in_handler:
+            for line, col, what in _mutations(stmt):
+                self.findings.append(
+                    Raw(
+                        module=self.fn.module,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"{what} after the yield at line "
+                            f"{self.last_yield} without re-validating the "
+                            "activation epoch (compare against _active or "
+                            "use a still_valid guard first: a concurrent "
+                            "deactivate/re-activate may own this state now)"
+                        ),
+                        severity="error",
+                    )
+                )
+        if _is_validation(stmt):
+            dirty = False
+        if _has_yield(stmt):
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    self.last_yield = node.lineno
+                    break
+            dirty = True
+        return dirty
+
+    def _first_pass_quiet(
+        self, body: List[ast.stmt], dirty: bool, in_handler: bool
+    ) -> bool:
+        """First loop pass: compute the exit state without reporting."""
+        saved = self.findings
+        self.findings = []
+        out = self._block(body, dirty, in_handler)
+        self.findings = saved
+        return out
+
+
+def _always_exits(body: List[ast.stmt]) -> bool:
+    if not body:
+        return False
+    last = body[-1]
+    return isinstance(last, (ast.Raise, ast.Return, ast.Continue, ast.Break))
+
+
+@flowpass("FC008", "epoch-guard", severity="error")
+def check_epoch_guard(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    for _, fn in sorted(program.functions.items()):
+        if not fn.is_generator:
+            continue
+        if not _mentions_active(fn.node):
+            continue
+        seen = set()
+        for raw in _Scan(fn).run():
+            key = (raw.line, raw.col, raw.message)
+            if key not in seen:
+                seen.add(key)
+                yield raw

@@ -1,0 +1,163 @@
+"""FC009: quota-balance — every tenant charge is released on all paths.
+
+FC003 pairs binary acquire/release grants; tenant quotas are
+*quantitative*: ``TenantRegistry.charge()``/``reserve()`` add bytes
+and blocks to a tenant's account that only an exact
+``uncharge()``/``release()``/``release_pipeline()`` gives back.  A
+charge that leaks — an exception, an abort, a patience-exhaustion exit
+that skips the release — wedges the tenant's backpressure forever
+(``reserve`` waits on room that can never appear).  PR 7 hand-built
+the pairing in the stage handler; this pass generalizes it:
+
+- **Charging sites** are ``.charge(...)``/``.reserve(...)`` calls on a
+  quota-registry receiver (a dotted receiver containing ``tenant``,
+  ``registry`` or ``quota`` — ``self.tenants``, ``provider.tenants``).
+  Bare ``self`` receivers are the registry's own implementation and
+  compute-cost ``ctx.charge(seconds)`` calls never match.
+- After a charge, the charge is **pending**.  A yield while pending
+  must sit under a ``try`` whose ``except``/``finally`` undoes the
+  charge (an ``uncharge``/``release`` on a quota receiver): a kill,
+  interrupt or RPC error landing on an unprotected yield leaks the
+  charge.  Once a protected yield has completed — control left the
+  compensating ``try`` — the charge is **committed**: post-commit
+  yields (replica forwards, metric flushes) are fine.
+- A charging function with **no release anywhere in the program** on a
+  matching receiver family is reported at the charge site: nothing can
+  ever balance it (the release may legitimately live in a sibling
+  handler — deactivate releases what stage charged — so the search is
+  whole-program, FC003-style).
+
+``reserve`` counts as a charging site because it charges internally
+before returning (backpressure admission); its own yield is protected
+inside the registry, so the pending window starts *after* the
+statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.flowcheck.callgraph import CallGraph
+from repro.analysis.flowcheck.model import (
+    FunctionInfo,
+    Program,
+    iter_yields,
+    receiver_of,
+)
+from repro.analysis.flowcheck.passes import Raw, flowpass, parent_map
+
+CHARGE_ATTRS = {"charge", "reserve"}
+RELEASE_ATTRS = {"uncharge", "release", "release_pipeline"}
+#: A receiver is a quota registry if its dotted path contains one of
+#: these — ``self.tenants``, ``provider.tenants``, ``quota_registry``.
+REGISTRY_MARKERS = ("tenant", "registry", "quota")
+
+
+def _is_quota_receiver(receiver: Optional[str]) -> bool:
+    if not receiver or receiver == "self":
+        return False
+    return any(marker in receiver.lower() for marker in REGISTRY_MARKERS)
+
+
+def _quota_calls(root: ast.AST, attrs) -> List[ast.Call]:
+    out = []
+    for node in ast.walk(root):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in attrs
+            and _is_quota_receiver(receiver_of(node))
+        ):
+            out.append(node)
+    return out
+
+
+def _program_releases(program: Program) -> bool:
+    return any(
+        _quota_calls(fn.node, RELEASE_ATTRS)
+        for fn in program.functions.values()
+    )
+
+
+def _compensating_try(
+    node: ast.AST, parents, stop_at: ast.AST
+) -> Optional[ast.Try]:
+    """Nearest ancestor Try whose handlers/finalbody undo a charge."""
+    current = parents.get(node)
+    while current is not None and current is not stop_at:
+        if isinstance(current, ast.Try):
+            for handler in current.handlers:
+                for stmt in handler.body:
+                    if _quota_calls(stmt, RELEASE_ATTRS):
+                        return current
+            for stmt in current.finalbody:
+                if _quota_calls(stmt, RELEASE_ATTRS):
+                    return current
+        current = parents.get(current)
+    return None
+
+
+def _check_function(fn: FunctionInfo, program: Program) -> Iterator[Raw]:
+    charges = _quota_calls(fn.node, CHARGE_ATTRS)
+    if not charges:
+        return
+    parents = parent_map(fn.node)
+    has_local_release = bool(_quota_calls(fn.node, RELEASE_ATTRS))
+    if not has_local_release and not _program_releases(program):
+        for charge in charges:
+            yield Raw(
+                module=fn.module,
+                line=charge.lineno,
+                col=charge.col_offset,
+                message=(
+                    f"quota {charge.func.attr}() has no matching "
+                    "uncharge/release anywhere in the program: the "
+                    "tenant's budget can never be rebalanced"
+                ),
+                severity="error",
+            )
+        return
+
+    yields = sorted(iter_yields(fn.node), key=lambda y: (y.lineno, y.col_offset))
+    for charge in charges:
+        compensated = False
+        for y in yields:
+            if y.lineno < charge.lineno:
+                continue
+            # The charge's own statement (reserve is itself a yield
+            # from) starts the pending window *after* it completes.
+            if y.lineno == charge.lineno or _contains(y, charge):
+                continue
+            protected = _compensating_try(y, parents, stop_at=fn.node)
+            if protected is not None:
+                compensated = True
+                continue
+            if compensated:
+                # Control already left a compensating try once: the
+                # charge is committed, later yields are post-commit.
+                continue
+            yield Raw(
+                module=fn.module,
+                line=y.lineno,
+                col=y.col_offset,
+                message=(
+                    f"yield while a quota {charge.func.attr}() from line "
+                    f"{charge.lineno} is pending, with no try/except/"
+                    "finally releasing it: a kill, interrupt or RPC error "
+                    "here leaks the charge (wrap the yield and uncharge "
+                    "on BaseException)"
+                ),
+                severity="error",
+            )
+            break
+
+
+def _contains(outer: ast.AST, inner: ast.AST) -> bool:
+    return any(node is inner for node in ast.walk(outer))
+
+
+@flowpass("FC009", "quota-balance", severity="error")
+def check_quota_balance(program: Program, graph: CallGraph) -> Iterator[Raw]:
+    for _, fn in sorted(program.functions.items()):
+        yield from _check_function(fn, program)

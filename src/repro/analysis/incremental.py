@@ -1,0 +1,132 @@
+"""Incremental flowcheck: analyze the callgraph closure of a git diff.
+
+``python -m repro.analysis check --changed [REF]`` resolves the files
+touched since ``REF`` (worktree + index + untracked, default HEAD) and
+reports only findings in their *callgraph closure*: every module that
+the changed modules call into, or that calls into them, transitively.
+
+Soundness note: the whole program is still parsed and every pass still
+runs over the full tree — several rules (FC006 orphan registrations,
+FC003 cross-function pairing, FC009's program-wide release scan) are
+only meaningful with whole-program context. Incrementality is applied
+to the *reported* file set, not the analyzed one, so a diff can never
+hide a finding by shrinking the model. The win is triage focus and a
+stable fast path: an empty diff short-circuits before the parse.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.flowcheck import run_check
+from repro.analysis.flowcheck.model import Program
+from repro.analysis.flowcheck.runner import CheckReport
+
+__all__ = ["ChangedResult", "run_changed"]
+
+SRC_DIR = "src"
+
+
+@dataclass
+class ChangedResult:
+    """A filtered check plus the diff/closure bookkeeping behind it."""
+
+    report: CheckReport
+    ref: str
+    changed: List[str] = field(default_factory=list)
+    closure: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def render(self, show_suppressed: bool = False) -> str:
+        if not self.changed:
+            return f"flowcheck --changed: no source files differ from {self.ref}"
+        head = (
+            f"flowcheck --changed {self.ref}: {len(self.changed)} changed"
+            f" -> {len(self.closure)} files in callgraph closure"
+        )
+        return head + "\n" + self.report.render(show_suppressed=show_suppressed)
+
+
+def _git(repo_root: Path, *argv: str) -> List[str]:
+    proc = subprocess.run(
+        ["git", *argv],
+        cwd=str(repo_root),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"git {' '.join(argv)} failed: {proc.stderr.strip() or proc.returncode}"
+        )
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_source_files(ref: str, repo_root: Path) -> List[str]:
+    """Repo-relative ``src/**.py`` paths differing from ``ref``.
+
+    Union of tracked changes against the ref and untracked files, so a
+    brand-new module is part of the closure before its first commit.
+    """
+    tracked = _git(repo_root, "diff", "--name-only", ref, "--", SRC_DIR)
+    untracked = _git(
+        repo_root, "ls-files", "--others", "--exclude-standard", "--", SRC_DIR
+    )
+    out = sorted(set(tracked) | set(untracked))
+    return [p for p in out if p.endswith(".py")]
+
+
+def _file_adjacency(program: Program) -> Dict[str, Set[str]]:
+    """Undirected module-to-module edges from resolved call sites."""
+    adjacency: Dict[str, Set[str]] = {m.rel: set() for m in program.modules}
+    for fn in program.functions.values():
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for callee in program.resolve_call(node, fn):
+                a, b = fn.module.rel, callee.module.rel
+                if a != b:
+                    adjacency[a].add(b)
+                    adjacency[b].add(a)
+    return adjacency
+
+
+def callgraph_closure(program: Program, changed: List[str]) -> Set[str]:
+    adjacency = _file_adjacency(program)
+    seen: Set[str] = set()
+    stack = [rel for rel in changed if rel in adjacency]
+    while stack:
+        rel = stack.pop()
+        if rel in seen:
+            continue
+        seen.add(rel)
+        stack.extend(adjacency[rel] - seen)
+    return seen
+
+
+def run_changed(
+    ref: str = "HEAD",
+    repo_root: Optional[str] = None,
+    select: Optional[List[str]] = None,
+) -> ChangedResult:
+    root = Path(repo_root) if repo_root else Path.cwd()
+    changed = changed_source_files(ref, root)
+    if not changed:
+        return ChangedResult(report=CheckReport(), ref=ref)
+    src = root / SRC_DIR
+    program = Program.load([str(src)], root=str(root))
+    closure = callgraph_closure(program, changed)
+    # Deleted/renamed-away files appear in the diff but not the model;
+    # they still seed nothing, and their old findings are gone with them.
+    full = run_check([str(src)], select=select, root=str(root))
+    findings = [f for f in full.findings if f.path in closure]
+    report = CheckReport(findings=findings, files_checked=len(closure))
+    return ChangedResult(
+        report=report, ref=ref, changed=changed, closure=sorted(closure)
+    )

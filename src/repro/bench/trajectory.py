@@ -1,11 +1,15 @@
-"""The tracked perf-trajectory suite for the DES kernel fast paths.
+"""The tracked perf-trajectory suites (DES kernel + static analysis).
 
-Runs a pinned-seed set of *scenes* — kernel event throughput, timer
+Runs a pinned-seed set of *scenes* and writes a per-suite baseline
+artifact. The ``kernel`` suite — event throughput, timer
 cancellation/compaction, SWIM churn at 256/1024/4096 members, MoNA
-reduce at large fan-in — and writes ``BENCH_kernel.json``: per scene,
-the deterministic op counts (events scheduled/processed, cancels,
-probes, view rebuilds, peak queue depth) plus wall time and a
-*normalized* throughput.
+reduce at large fan-in — writes ``BENCH_kernel.json``: per scene, the
+deterministic op counts (events scheduled/processed, cancels, probes,
+view rebuilds, peak queue depth) plus wall time and a *normalized*
+throughput. The ``analysis`` suite times a whole-tree flowcheck run
+(all FC001..FC010 passes, taint fixpoint included) and writes
+``BENCH_analysis.json`` so analyzer slowdowns and finding-count drift
+are gated like kernel regressions.
 
 Normalization makes the regression gate machine-portable: every run
 first times a fixed pure-Python calibration loop, and throughputs are
@@ -29,6 +33,7 @@ Usage::
     python -m repro.bench trajectory --check          # + gate vs baseline
     python -m repro.bench trajectory --update         # refresh baseline
     python -m repro.bench trajectory --scenes kernel_events,swim_churn_256
+    python -m repro.bench trajectory --suite analysis --check
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -47,7 +53,8 @@ SEED = 1234
 #: Regression gate: tracked metrics may drift this much vs baseline.
 TOLERANCE = 0.20
 
-#: Default artifact paths (repo root relative).
+#: Default artifact paths (repo root relative) for the kernel suite;
+#: other suites derive theirs from :data:`SUITES`.
 BASELINE_PATH = "BENCH_kernel.json"
 LATEST_PATH = "BENCH_kernel.latest.json"
 
@@ -298,6 +305,25 @@ def scene_mona_reduce(seed: int = SEED, ranks: int = 128, elems: int = 32_768) -
     }
 
 
+def scene_flowcheck_tree() -> Dict[str, float]:
+    """Whole-tree flowcheck: every FC pass (taint fixpoint included)
+    over src/. Finding counts are the determinism check; the gate
+    catches analyzer slowdowns and finding/suppression drift."""
+    from repro.analysis.flowcheck import run_check
+
+    src = Path(__file__).resolve().parents[2]  # src/
+    t0 = _wall()
+    report = run_check([str(src)], root=str(src.parent))
+    wall = _wall() - t0
+    return {
+        "wall_seconds": wall,
+        "files_checked": report.files_checked,
+        "findings_total": len(report.findings),
+        "findings_unsuppressed": len(report.unsuppressed()),
+        "files_per_sec": report.files_checked / wall,
+    }
+
+
 #: Scene registry: name -> (runner, tracked metric spec).
 #: Spec maps metric name -> "count" (regresses by growing) or
 #: "throughput" (regresses by shrinking). Untracked fields are
@@ -356,27 +382,54 @@ SCENES: Dict[str, Tuple[Callable[[], Dict[str, float]], Dict[str, str]]] = {
     ),
 }
 
+#: The static-analysis suite. ``findings_unsuppressed`` baselines at 0,
+#: so *any* unsuppressed finding regresses the gate; ``findings_total``
+#: growing past tolerance means suppressions are accumulating faster
+#: than an intentional --update.
+ANALYSIS_SCENES: Dict[str, Tuple[Callable[[], Dict[str, float]], Dict[str, str]]] = {
+    "flowcheck_tree": (
+        scene_flowcheck_tree,
+        {
+            "findings_total": "count",
+            "findings_unsuppressed": "count",
+            "norm_throughput": "throughput",
+        },
+    ),
+}
+
+#: Suite registry: name -> (scene registry, baseline path, latest path).
+SUITES: Dict[str, Tuple[Dict, str, str]] = {
+    "kernel": (SCENES, BASELINE_PATH, LATEST_PATH),
+    "analysis": (ANALYSIS_SCENES, "BENCH_analysis.json", "BENCH_analysis.latest.json"),
+}
+
 
 # ---------------------------------------------------------------------------
 # suite driver
-def run_suite(scene_names: Optional[List[str]] = None) -> Dict[str, Any]:
-    """Run the scenes and return the BENCH_kernel report dict."""
-    names = list(SCENES) if scene_names is None else scene_names
-    unknown = [n for n in names if n not in SCENES]
+def run_suite(
+    scene_names: Optional[List[str]] = None,
+    suite: str = "kernel",
+) -> Dict[str, Any]:
+    """Run one suite's scenes and return its BENCH report dict."""
+    scenes = SUITES[suite][0]
+    names = list(scenes) if scene_names is None else scene_names
+    unknown = [n for n in names if n not in scenes]
     if unknown:
-        raise SystemExit(f"unknown scenes {unknown}; available: {list(SCENES)}")
+        raise SystemExit(f"unknown scenes {unknown}; available: {list(scenes)}")
 
     cal = calibrate()
     report: Dict[str, Any] = {
         "schema": 1,
+        "suite": suite,
         "seed": SEED,
         "tolerance": TOLERANCE,
         "calibration": cal,
-        "pre_pr_reference": PRE_PR_REFERENCE,
         "scenes": {},
     }
+    if suite == "kernel":
+        report["pre_pr_reference"] = PRE_PR_REFERENCE
     for name in names:
-        runner, tracked = SCENES[name]
+        runner, tracked = scenes[name]
         print(f"  scene {name} ...", file=sys.stderr, flush=True)
         # Best-of-3: wall time (and hence throughput) takes the fastest
         # pass — cold-start noise (allocator, page cache, numpy warm-up)
@@ -387,7 +440,7 @@ def run_suite(scene_names: Optional[List[str]] = None) -> Dict[str, Any]:
         first = passes[0]
         for other in passes[1:]:
             for metric, value in first.items():
-                if metric in ("wall_seconds", "events_per_sec"):
+                if metric == "wall_seconds" or metric.endswith("_per_sec"):
                     continue
                 if other.get(metric) != value:
                     raise AssertionError(
@@ -396,9 +449,9 @@ def run_suite(scene_names: Optional[List[str]] = None) -> Dict[str, Any]:
                     )
         result = dict(first)
         result["wall_seconds"] = min(p["wall_seconds"] for p in passes)
-        if "events_per_sec" in result:
-            result["events_per_sec"] = max(p["events_per_sec"] for p in passes)
-            result["norm_throughput"] = result["events_per_sec"] / cal["ops_per_sec"]
+        for rate_key in [k for k in first if k.endswith("_per_sec")]:
+            result[rate_key] = max(p[rate_key] for p in passes)
+            result["norm_throughput"] = result[rate_key] / cal["ops_per_sec"]
         result["tracked"] = tracked
         report["scenes"][name] = result
     return report
@@ -455,17 +508,29 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any], tolerance: float 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench trajectory",
-        description="Run the tracked kernel perf-trajectory suite.",
+        description="Run a tracked perf-trajectory suite (kernel or analysis).",
     )
-    parser.add_argument("--out", default=LATEST_PATH, help="where to write this run's report")
-    parser.add_argument("--baseline", default=BASELINE_PATH, help="committed baseline path")
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="kernel",
+        help="which scene suite to run (default: kernel)",
+    )
+    parser.add_argument("--out", default=None, help="where to write this run's report")
+    parser.add_argument("--baseline", default=None, help="committed baseline path")
     parser.add_argument("--check", action="store_true", help="fail on >20%% regression vs baseline")
     parser.add_argument("--update", action="store_true", help="write the baseline instead of --out")
     parser.add_argument("--scenes", help="comma-separated subset of scenes")
     args = parser.parse_args(argv)
 
+    _, suite_baseline, suite_latest = SUITES[args.suite]
+    if args.baseline is None:
+        args.baseline = suite_baseline
+    if args.out is None:
+        args.out = suite_latest
+
     names = args.scenes.split(",") if args.scenes else None
-    report = run_suite(names)
+    report = run_suite(names, suite=args.suite)
 
     out_path = args.baseline if args.update else args.out
     with open(out_path, "w") as fh:

@@ -34,6 +34,15 @@ properties:
 
 Violations accumulate as human-readable strings; :meth:`assert_ok`
 turns them into one test failure.
+
+The span names and metric counters this monitor consumes
+(``colza.activate``/``colza.stage``/``colza.deactivate``/
+``colza.execute``, the per-tenant quota gauges) are part of the
+statically checked metric contract: flowcheck's FC010 pass (DESIGN
+§14) verifies at review time that every span/metric name read here is
+actually produced somewhere in the tree, so a renamed producer breaks
+``make check`` instead of silently turning a chaos invariant into a
+no-op.
 """
 
 from __future__ import annotations

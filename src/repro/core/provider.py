@@ -394,10 +394,16 @@ class ColzaProvider(Provider):
             # and bail) but staged blocks and their replicas survive so
             # the next activate can recover instead of re-staging.
             yield from pipeline.deactivate(iteration)
-            self.replicas.drop_iteration(name, iteration)
-            # The iteration's data is gone: free its quota charges,
-            # waking any of this tenant's stages backpressured on room.
-            self.tenants.release(name, iteration)
+            if key not in self._active:
+                self.replicas.drop_iteration(name, iteration)
+                # The iteration's data is gone: free its quota charges,
+                # waking any of this tenant's stages backpressured on
+                # room. If a fresh activate for this key committed while
+                # deactivate was yielding, the replicas and charges now
+                # belong to the *new* epoch (its commit already purged
+                # ours) — dropping them here would destroy the new
+                # activation's state and underflow its quota.
+                self.tenants.release(name, iteration)
         if not self._active and self._leave_deferred:
             self._leave_deferred = False
             self.leaving = True

@@ -279,6 +279,13 @@ def recover_iteration(
     adopted = 0
     missing: List[int] = []
     for block_id in orphans:
+        # The epoch may have died while we were exchanging inventories
+        # (or adopting an earlier orphan): an abort-during-recovery is
+        # a pinned chaos scenario. Popping a local replica for a dead
+        # epoch would destroy the copy the *next* recovery pass needs
+        # — the block's only surviving replica, if its owner is gone.
+        if provider._active.get(key) != epoch:
+            break
         if block_owner(pipeline_name, iteration, block_id, view) != me:
             continue
         block = provider.replicas.pop(pipeline_name, iteration, block_id)
@@ -326,7 +333,16 @@ def recover_iteration(
             tenant_of(pipeline_name), pipeline_name, iteration,
             block_id, payload_nbytes(block.payload),
         )
-        yield from pipeline.stage(iteration, block)
+        try:
+            yield from pipeline.stage(iteration, block)
+        except BaseException:
+            # A kill/interrupt landing on the adoption stage must not
+            # leave the charge orphaned: the block never made it into
+            # the staged set, so nothing would ever release it.
+            provider.tenants.uncharge(
+                tenant_of(pipeline_name), pipeline_name, iteration, block_id
+            )
+            raise
         adopted += 1
         core.counter("blocks_recovered").inc()
         sim.trace.add("colza.block_recovered")

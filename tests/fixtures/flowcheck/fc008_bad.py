@@ -1,0 +1,26 @@
+"""FC008 positives: post-yield mutations without epoch re-validation."""
+
+
+class RacyProvider:
+    def rpc_stage(self, input):
+        key = (input["pipeline"], input["iteration"])
+        epoch = self._active.get(key)
+        payload = yield self.margo.bulk_pull(input["handle"])
+        # line 10: FC008 (stage after the RDMA yield, epoch unchecked)
+        yield from self.pipeline.stage(input["iteration"], payload)
+
+    def rpc_deactivate(self, input):
+        key = (input["pipeline"], input["iteration"])
+        was_active = self._active.pop(key, None) is not None
+        yield from self.pipeline.deactivate(input["iteration"])
+        # line 17: FC008 (replica drop after the deactivate yield)
+        self.replicas.drop_iteration(*key)
+        # line 19: FC008 (quota release after the deactivate yield)
+        self.tenants.release(*key)
+
+    def loop_carried(self, blocks, key):
+        epoch = self._active.get(key)
+        for block in blocks:
+            # line 25: FC008 on the second trip (yield at loop bottom)
+            self.replicas.put(key[0], key[1], block)
+            yield from self.forward(block)

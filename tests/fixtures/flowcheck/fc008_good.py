@@ -1,0 +1,43 @@
+"""FC008 negatives: every post-yield mutation re-validates first."""
+
+
+class GuardedProvider:
+    def rpc_stage(self, input):
+        key = (input["pipeline"], input["iteration"])
+        epoch = self._active.get(key)
+        payload = yield self.margo.bulk_pull(input["handle"])
+        if self._active.get(key) != epoch:
+            raise RuntimeError("stage raced deactivate")
+        yield from self.pipeline.stage(input["iteration"], payload)
+
+    def rpc_deactivate(self, input):
+        key = (input["pipeline"], input["iteration"])
+        was_active = self._active.pop(key, None) is not None
+        yield from self.pipeline.deactivate(input["iteration"])
+        if key not in self._active:
+            self.replicas.drop_iteration(*key)
+            self.tenants.release(*key)
+
+    def still_valid_guard(self, key, input):
+        epoch = self._active.get(key)
+        yield from self.tenants.reserve(
+            key[0], key[1],
+            still_valid=lambda: self._active.get(key) == epoch,
+        )
+
+    def compensation_is_exempt(self, key, block):
+        epoch = self._active.get(key)
+        try:
+            yield from self.pipeline.stage(key[1], block)
+        except BaseException:
+            # the abort path must uncharge whatever the epoch's fate
+            self.tenants.uncharge(key[0], key[1])
+            raise
+
+    def loop_revalidated(self, blocks, key):
+        epoch = self._active.get(key)
+        for block in blocks:
+            if self._active.get(key) != epoch:
+                break
+            self.replicas.put(key[0], key[1], block)
+            yield from self.forward(block)

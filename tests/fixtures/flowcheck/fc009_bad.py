@@ -1,0 +1,14 @@
+"""FC009 positives: quota charges that can leak."""
+
+
+class LeakyStage:
+    def unprotected_yield(self, tenant, name, iteration, block, sim):
+        self.tenants.charge(tenant, name, iteration, block.block_id, 100)
+        # line 8: FC009 (pending charge, no try/except to uncharge)
+        yield from self.pipeline.stage(iteration, block)
+        self.tenants.uncharge(tenant, name, iteration, block.block_id)
+
+
+def never_released(registry, tenant, name, iteration, sim):
+    registry.charge(tenant, name, iteration, 0, 100)
+    yield sim.timeout(1)  # line 14: FC009 (pending charge, nothing releases it)

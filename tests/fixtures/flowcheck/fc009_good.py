@@ -1,0 +1,38 @@
+"""FC009 negatives: charges balanced on every path."""
+
+
+class BalancedStage:
+    def protected_yield(self, tenant, name, iteration, block, sim):
+        self.tenants.charge(tenant, name, iteration, block.block_id, 100)
+        try:
+            yield from self.pipeline.stage(iteration, block)
+        except BaseException:
+            self.tenants.uncharge(tenant, name, iteration, block.block_id)
+            raise
+
+    def finally_released(self, tenant, name, iteration, sim):
+        self.tenants.charge(tenant, name, iteration, 0, 100)
+        try:
+            yield sim.timeout(1)
+        finally:
+            self.tenants.release(name, iteration)
+
+    def post_commit_yield(self, tenant, name, iteration, block, sim):
+        self.tenants.charge(tenant, name, iteration, block.block_id, 100)
+        try:
+            yield from self.pipeline.stage(iteration, block)
+        except BaseException:
+            self.tenants.uncharge(tenant, name, iteration, block.block_id)
+            raise
+        # committed: the replica forward below is post-commit traffic
+        yield from self.forward(block)
+
+    def cross_handler_release(self, tenant, name, iteration, sim):
+        # stage charges; deactivate releases — the FC003-style
+        # whole-program pairing (no yield while pending here).
+        self.tenants.charge(tenant, name, iteration, 0, 100)
+        return None
+
+    def deactivate(self, name, iteration, sim):
+        yield sim.timeout(0)
+        self.tenants.release(name, iteration)

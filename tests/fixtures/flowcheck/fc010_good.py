@@ -1,0 +1,35 @@
+"""FC010 negatives: produced spans, registered metrics, single counts."""
+
+
+class Monitor:
+    def on_span(self, span):
+        if span.name == "worker.step":
+            self.seen += 1
+
+
+def read_present(sim):
+    return sim.metrics.get("worker.steps")
+
+
+def read_tenant_scoped(sim):
+    # matches the wildcard-prefix producer in Tenanted.step below
+    return sim.metrics.get("tenant.alpha.blocks")
+
+
+class Worker:
+    def __init__(self, sim):
+        self._metrics = sim.metrics.scope("worker")
+        self._m_idle = self._metrics.counter("idle_cycles")
+
+    def step(self, sim):
+        self._metrics.counter("steps").inc()
+        self._m_idle.inc()
+        yield sim.timeout(1)
+        sim.trace.begin("worker.step")
+
+
+class Tenanted:
+    def step(self, sim, tenant):
+        scope = sim.metrics.scope(f"tenant.{tenant}")
+        scope.counter("blocks").inc()
+        yield sim.timeout(1)
