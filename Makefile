@@ -1,6 +1,6 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test chaos lint check check-fast report sarif fuzz bench bench-trajectory bench-trajectory-update bench-analysis bench-analysis-update examples results clean
+.PHONY: install test chaos lint check check-fast report sarif fuzz mcheck bench bench-trajectory bench-trajectory-update bench-analysis bench-analysis-update examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,7 +30,13 @@ sarif:
 	@PYTHONPATH=src python -m repro.analysis report --sarif src
 
 fuzz:
-	PYTHONPATH=src python -m repro.analysis fuzz -n 5
+	PYTHONPATH=src python -m repro.analysis fuzz -n 5 --repro-dir .mcheck-repros
+
+# Colzacheck: systematically explore same-timestamp interleavings of
+# every protocol scenario; minimized counterexamples (replay with
+# `python -m repro.analysis replay <file>`) land in .mcheck-repros/.
+mcheck:
+	PYTHONPATH=src python -m repro.analysis mcheck --out .mcheck-repros
 
 bench:
 	pytest benchmarks/ --benchmark-only

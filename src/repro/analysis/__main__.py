@@ -6,7 +6,9 @@
     python -m repro.analysis check [paths...] [--select FC001,FC010] [--show-suppressed]
     python -m repro.analysis check --changed [REF]
     python -m repro.analysis report [paths...] [--json | --sarif]
-    python -m repro.analysis fuzz [--scenario NAME] [--seed N] [-n N | --fuzz-seeds 0,1,2] [--json]
+    python -m repro.analysis fuzz [--scenario NAME] [--seed N] [-n N | --fuzz-seeds 0,1,2] [--json] [--repro-dir DIR]
+    python -m repro.analysis mcheck [--scenario NAME] [--seed N] [--max-schedules N] [--max-flips N] [--out DIR] [--json]
+    python -m repro.analysis replay FILE [FILE...]
 
 ``lint`` (detlint) and ``check`` (flowcheck) exit 1 if any unsuppressed
 finding remains; ``check --changed REF`` restricts the *reported* file
@@ -15,7 +17,13 @@ while still analyzing the whole tree; ``report`` merges both into one
 document — SARIF-lite JSON by default, real SARIF 2.1.0 with
 ``--sarif`` — and exits 1 under the same condition; ``fuzz`` exits 1 if
 any perturbed schedule produces an invariant violation or an invariant
-digest differing from the unperturbed baseline.
+digest differing from the unperturbed baseline, and with ``--repro-dir``
+writes each divergence as a replayable ``.sched`` file; ``mcheck``
+systematically explores same-timestamp interleavings of a scenario's
+racy window and exits 1 if any explored schedule violates an invariant
+(the minimized counterexample is written to ``--out``); ``replay``
+re-executes ``.sched`` counterexamples from either tool and exits 1
+unless every one reproduces its recorded failure identity.
 """
 
 from __future__ import annotations
@@ -70,7 +78,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.analysis.fuzz import FUZZ_SCENARIOS, run_fuzz
+    from repro.analysis.fuzz import FUZZ_SCENARIOS, outcome_schedule, run_fuzz
 
     if args.list:
         for name in sorted(FUZZ_SCENARIOS):
@@ -82,6 +90,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     exit_code = 0
     for scenario in args.scenario or sorted(FUZZ_SCENARIOS):
         report = run_fuzz(scenario, seed=args.seed, fuzz_seeds=fuzz_seeds, n=args.n)
+        if args.repro_dir and not report.ok:
+            out = Path(args.repro_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            for outcome in report.divergences:
+                path = out / (
+                    f"fuzz-{report.scenario}-s{report.seed}"
+                    f"-f{outcome.fuzz_seed}.sched"
+                )
+                outcome_schedule(outcome).save(str(path))
+                print(f"  repro written: {path}", file=sys.stderr)
         if args.json:
             print(
                 json.dumps(
@@ -108,6 +126,75 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         else:
             print(report.render())
         if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_mcheck(args: argparse.Namespace) -> int:
+    from repro.analysis.mcheck import explore, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    log = (lambda msg: print(f"  {msg}", file=sys.stderr)) if args.verbose else None
+    exit_code = 0
+    for scenario in args.scenario or scenario_names():
+        report = explore(
+            scenario,
+            seed=args.seed,
+            max_schedules=args.max_schedules,
+            max_flips=args.max_flips,
+            prune=not args.no_prune,
+            do_shrink=not args.no_shrink,
+            log=log,
+        )
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        if not report.ok:
+            exit_code = 1
+            schedule = report.schedule()
+            if args.out and schedule is not None:
+                out = Path(args.out)
+                out.mkdir(parents=True, exist_ok=True)
+                path = out / f"mcheck-{scenario}-s{args.seed}.sched"
+                schedule.save(str(path))
+                print(f"  counterexample written: {path}", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.analysis.mcheck import Schedule, replay
+
+    exit_code = 0
+    for path in args.files:
+        try:
+            schedule = Schedule.load(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"replay: {path}: {exc}", file=sys.stderr)
+            return 2
+        result = replay(schedule)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "file": path,
+                        "tool": schedule.tool,
+                        "scenario": schedule.scenario,
+                        "matches": result.matches,
+                        "diverged": result.diverged,
+                        "violations": list(result.violations),
+                        "violation_digest": result.violation_digest,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(result.render())
+        if not result.matches:
             exit_code = 1
     return exit_code
 
@@ -175,7 +262,59 @@ def main(argv=None) -> int:
     fuzz.add_argument("--fuzz-seeds", help="explicit comma-separated fuzz seeds")
     fuzz.add_argument("--json", action="store_true", help="machine-readable output")
     fuzz.add_argument("--list", action="store_true", help="list fuzz scenarios")
+    fuzz.add_argument(
+        "--repro-dir",
+        metavar="DIR",
+        help="write each divergence as a replayable .sched file under DIR",
+    )
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    mcheck = sub.add_parser(
+        "mcheck", help="systematically explore schedule interleavings (Colzacheck)"
+    )
+    mcheck.add_argument(
+        "--scenario",
+        action="append",
+        help="mcheck scenario name (repeatable; default: all). See --list.",
+    )
+    mcheck.add_argument("--seed", type=int, default=0, help="scenario seed")
+    mcheck.add_argument(
+        "--max-schedules", type=int, default=64, help="execution budget (default 64)"
+    )
+    mcheck.add_argument(
+        "--max-flips",
+        type=int,
+        default=3,
+        help="preemption bound: max non-FIFO choices per schedule (default 3)",
+    )
+    mcheck.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable DPOR equivalence pruning (explore every sibling)",
+    )
+    mcheck.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip counterexample minimization",
+    )
+    mcheck.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write minimized counterexamples as .sched files under DIR",
+    )
+    mcheck.add_argument("--json", action="store_true", help="machine-readable output")
+    mcheck.add_argument(
+        "--verbose", action="store_true", help="log every executed schedule"
+    )
+    mcheck.add_argument("--list", action="store_true", help="list mcheck scenarios")
+    mcheck.set_defaults(fn=_cmd_mcheck)
+
+    rep = sub.add_parser(
+        "replay", help="re-execute .sched counterexamples (mcheck or fuzz)"
+    )
+    rep.add_argument("files", nargs="+", help=".sched files to replay")
+    rep.add_argument("--json", action="store_true", help="machine-readable output")
+    rep.set_defaults(fn=_cmd_replay)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -39,20 +39,34 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim import perturbed_ties
+from repro.sim.trace import canonical_tags
 
 __all__ = [
     "FUZZ_SCENARIOS",
     "FuzzOutcome",
     "FuzzReport",
     "fuzz_scenario",
+    "outcome_schedule",
     "run_fuzz",
     "run_fuzz_one",
 ]
 
 
 def invariant_digest(payload: Dict[str, Any]) -> str:
-    """Canonical hash of the run's observable guarantees."""
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    """Canonical hash of the run's observable guarantees.
+
+    Canonicalization is *strict* — the same policy as the tracer's
+    schedule digest (:func:`repro.sim.trace.canonical_tags`): JSON
+    primitives, lists/tuples/dicts thereof, numpy scalars, and
+    Address-like objects (rendered via ``str``). Anything else raises
+    ``TypeError`` instead of silently degrading to ``str(value)`` —
+    default reprs carry memory addresses, which would make the "same
+    guarantees" digest differ between two identical runs (or, worse,
+    collide two genuinely different outcomes that happen to repr alike).
+    """
+    blob = json.dumps(
+        canonical_tags(payload), sort_keys=True, separators=(",", ":")
+    )
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -232,3 +246,26 @@ def run_fuzz(
     baseline = run_fuzz_one(scenario, seed, None)
     outcomes = [run_fuzz_one(scenario, seed, fs) for fs in seeds]
     return FuzzReport(scenario=scenario, seed=seed, baseline=baseline, outcomes=outcomes)
+
+
+def outcome_schedule(outcome: FuzzOutcome) -> Any:
+    """A divergent fuzz outcome as a replayable ``.sched`` counterexample.
+
+    The same format the model checker writes (``repro-sched-v1``): the
+    perturbation seed pins the tie-break permutation, the violation and
+    invariant digests pin the failure identity, and ``python -m
+    repro.analysis replay <file>`` re-executes and compares both.
+    """
+    from repro.analysis.mcheck.sched import Schedule, violation_digest
+
+    return Schedule(
+        tool="fuzz",
+        scenario=outcome.scenario,
+        seed=outcome.seed,
+        fuzz_seed=outcome.fuzz_seed,
+        violation_digest=violation_digest(
+            outcome.scenario, outcome.seed, outcome.violations
+        ),
+        violations=tuple(outcome.violations),
+        invariant_digest=outcome.invariant_digest,
+    )

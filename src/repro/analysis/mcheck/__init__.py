@@ -1,0 +1,49 @@
+"""Colzacheck: systematic model checking of the staging protocols.
+
+A stateless, DPOR-style checker (in the Coyote/Shuttle tradition) for
+the 2PC activation, SWIM-recovery, replication, and tenancy protocols.
+Where the schedule fuzzer (:mod:`repro.analysis.fuzz`) samples random
+tie-break permutations, the checker *enumerates* same-timestamp
+interleavings around a scenario's racy window, prunes provably
+equivalent ones using SimTSan access footprints as the independence
+relation, and emits minimized, replayable ``.sched`` counterexamples
+when an invariant breaks.
+
+Layers:
+
+- :mod:`~repro.analysis.mcheck.driver` — the controlled tie-break
+  driver (choice recording, access footprints);
+- :mod:`~repro.analysis.mcheck.explore` — DFS over choice prefixes
+  with sleep-set-style pruning, trace dedup, budgets, and shrinking;
+- :mod:`~repro.analysis.mcheck.sched` — the counterexample file
+  format, shared with the fuzzer, and replay;
+- :mod:`~repro.analysis.mcheck.scenarios` — the protocol windows under
+  test.
+
+CLI: ``python -m repro.analysis mcheck --scenario 2pc_activation``;
+replay a counterexample with ``python -m repro.analysis replay
+<file.sched>``.
+"""
+
+from repro.analysis.mcheck.driver import ScheduleController, fingerprint
+from repro.analysis.mcheck.explore import ExploreReport, explore, run_schedule
+from repro.analysis.mcheck.sched import ReplayResult, Schedule, replay
+from repro.analysis.mcheck.scenarios import (
+    MCHECK_SCENARIOS,
+    McheckOutcome,
+    scenario_names,
+)
+
+__all__ = [
+    "ExploreReport",
+    "MCHECK_SCENARIOS",
+    "McheckOutcome",
+    "ReplayResult",
+    "Schedule",
+    "ScheduleController",
+    "explore",
+    "fingerprint",
+    "replay",
+    "run_schedule",
+    "scenario_names",
+]

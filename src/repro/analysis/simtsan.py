@@ -108,6 +108,12 @@ class SimTSan:
         self.races: List[RaceReport] = []
         #: Emit span-linked diagnostics through ``sim.trace``.
         self.trace = trace
+        #: Optional access observer ``fn(label, key, is_write)``: the
+        #: model checker (repro.analysis.mcheck) collects per-step
+        #: Shared-container footprints through it, which become the
+        #: independence relation its schedule pruning is keyed on.
+        #: Suspended accesses (:func:`untracked`) stay invisible.
+        self.on_access: Optional[Any] = None
         self._suspended = 0
 
     # ------------------------------------------------------------------
@@ -130,6 +136,9 @@ class SimTSan:
     def on_read(self, shared: "Shared", key: Any) -> None:
         if self._suspended:
             return
+        hook = self.on_access
+        if hook is not None:
+            hook(shared.label, key, False)
         task = self.sim.current_task
         if task is None:
             # Root-context code (setup, run_until predicates) never
@@ -149,6 +158,9 @@ class SimTSan:
     def on_write(self, shared: "Shared", key: Any) -> None:
         if self._suspended:
             return
+        hook = self.on_access
+        if hook is not None:
+            hook(shared.label, key, True)
         writer = self.sim.current_task
         write_site = None
         keys = (key, _WHOLE) if key is not _WHOLE else tuple(shared._tsan_reads)

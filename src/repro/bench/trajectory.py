@@ -324,6 +324,30 @@ def scene_flowcheck_tree() -> Dict[str, float]:
     }
 
 
+def scene_mcheck_explore() -> Dict[str, float]:
+    """Systematic exploration of the quota_backpressure window (model
+    checker, repro.analysis.mcheck): schedule/prune/pair counts are the
+    determinism check — a drifting count means the explorer's frontier
+    or the scenario's choice structure changed — and ``violations``
+    baselines at 0 so any invariant break on the clean tree fails the
+    gate outright."""
+    from repro.analysis.mcheck import explore
+
+    t0 = _wall()
+    report = explore("quota_backpressure", 0, max_schedules=16)
+    wall = _wall() - t0
+    return {
+        "wall_seconds": wall,
+        "violations": 0 if report.ok else len(report.counterexample.violations),
+        "runs": report.runs,
+        "distinct_traces": report.distinct_traces,
+        "pruned": report.pruned,
+        "dependent_pairs": len(report.dependent_pairs),
+        "choice_points": report.choice_points,
+        "schedules_per_sec": report.runs / wall,
+    }
+
+
 #: Scene registry: name -> (runner, tracked metric spec).
 #: Spec maps metric name -> "count" (regresses by growing) or
 #: "throughput" (regresses by shrinking). Untracked fields are
@@ -392,6 +416,15 @@ ANALYSIS_SCENES: Dict[str, Tuple[Callable[[], Dict[str, float]], Dict[str, str]]
         {
             "findings_total": "count",
             "findings_unsuppressed": "count",
+            "norm_throughput": "throughput",
+        },
+    ),
+    "mcheck_explore": (
+        scene_mcheck_explore,
+        {
+            "violations": "count",
+            "runs": "count",
+            "pruned": "count",
             "norm_throughput": "throughput",
         },
     ),

@@ -32,20 +32,26 @@ from repro.sim.kernel import (
 )
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
+from repro.sim.tiebreak import Controlled, Fifo, Perturbed, TieBreaker, tie_strategy
 from repro.sim.trace import Span, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Controlled",
     "Event",
+    "Fifo",
     "Interrupt",
     "Killed",
+    "Perturbed",
     "Resource",
     "RngRegistry",
     "Simulation",
     "SimulationError",
     "Span",
     "Task",
+    "TieBreaker",
     "Tracer",
     "perturbed_ties",
+    "tie_strategy",
 ]

@@ -200,6 +200,41 @@ class EventQueue:
             return (entry[_WHEN], entry[_KEY], call, arg)
         return None
 
+    # ------------------------------------------------------------------
+    # controlled selection (the model checker's hooks; never on hot paths)
+    def frontier(self, when: float) -> List[list]:
+        """All live entries scheduled exactly at ``when``, in key order.
+
+        O(n) over the physical heap — acceptable because only the
+        exploration driver (repro.analysis.mcheck) calls it, and only
+        at timestamps it is armed for. The returned entries are the
+        real handles: pass one to :meth:`take` to consume it.
+        """
+        return sorted(
+            (e for e in self._heap if e[_CALL] is not None and e[_WHEN] == when),
+            key=lambda e: e[_KEY],
+        )
+
+    def take(self, entry: list) -> Optional[tuple]:
+        """Consume a specific live entry out of heap order.
+
+        The payload is consumed in place and the husk stays in the heap
+        as a tombstone (counted, so the pop/peek accounting that
+        decrements ``_tombstones`` when dead entries surface stays
+        balanced). Returns ``(when, key, call, arg)``, or None if the
+        entry was already popped/canceled.
+        """
+        call = entry[_CALL]
+        if call is None:
+            return None
+        arg = entry[_ARG]
+        entry[_CALL] = None
+        entry[_ARG] = None
+        self._live -= 1
+        self._tombstones += 1
+        self.pops += 1
+        return (entry[_WHEN], entry[_KEY], call, arg)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<EventQueue live={self._live} tombstones={self._tombstones} "

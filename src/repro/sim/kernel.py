@@ -67,6 +67,12 @@ def _splitmix64(x: int) -> int:
 #: when no explicit ``perturb_seed`` is given. Set via perturbed_ties().
 _default_perturb_seed: Optional[int] = None
 
+#: Process-wide default tie-break strategy, consulted by Simulation()
+#: when no explicit ``tiebreaker`` is given. Set via
+#: :class:`repro.sim.tiebreak.tie_strategy` (the model checker's way of
+#: taking over scenario code that builds its own Simulation).
+_default_tiebreaker: Optional[Any] = None
+
 
 class perturbed_ties:
     """Context manager: simulations built inside the block perturb
@@ -459,6 +465,14 @@ class Simulation:
         correctness does not ride on accidental FIFO order. ``None``
         (the default) falls back to the ambient :func:`perturbed_ties`
         context, then to plain FIFO.
+    tiebreaker:
+        A :class:`repro.sim.tiebreak.TieBreaker` strategy naming the
+        tie-break policy explicitly — ``Fifo()`` (bit-identical to the
+        default), ``Perturbed(seed)`` (same as ``perturb_seed=seed``),
+        or ``Controlled(driver)`` (the model checker's exploration
+        hook). ``None`` falls back to the ambient
+        :class:`~repro.sim.tiebreak.tie_strategy` context, then to the
+        ``perturb_seed`` resolution above.
     """
 
     def __init__(
@@ -466,6 +480,7 @@ class Simulation:
         seed: int = 0,
         strict: bool = True,
         perturb_seed: Optional[int] = None,
+        tiebreaker: Optional[Any] = None,
     ):
         self._now = 0.0
         self._queue = EventQueue()
@@ -478,6 +493,13 @@ class Simulation:
         self._perturb_salt = (
             None if perturb_seed is None else _splitmix64(perturb_seed & _MASK64)
         )
+        #: Exploration driver for same-timestamp choices (installed by
+        #: the Controlled tie-break strategy; None = no interposition).
+        self._controller: Optional[Any] = None
+        if tiebreaker is None:
+            tiebreaker = _default_tiebreaker
+        if tiebreaker is not None:
+            tiebreaker.install(self)
         #: Global resume counter (see Task.clock).
         self._switch_epoch = 0
         #: Installed SimTSan detector, if any (repro.analysis.simtsan).
@@ -618,6 +640,8 @@ class Simulation:
         is advanced to ``until`` when given, even if the queue drained
         earlier.
         """
+        if self._controller is not None:
+            return self._run_controlled(until)
         queue = self._queue
         no_arg = NO_ARG
         while True:
@@ -637,16 +661,62 @@ class Simulation:
 
     def step(self) -> bool:
         """Process a single scheduled call; False when queue is empty."""
-        entry = self._queue.pop()
+        ctl = self._controller
+        if ctl is None:
+            entry = self._queue.pop()
+        else:
+            entry = self._controlled_take(None)
         if entry is None:
             return False
         self._now = entry[0]
         call, arg = entry[2], entry[3]
+        if ctl is not None:
+            ctl.begin_step(self, entry)
         if arg is NO_ARG:
             call()
         else:
             call(arg)
         return True
+
+    def _controlled_take(self, until: Optional[float]) -> Optional[tuple]:
+        """Select the next event under an exploration driver.
+
+        While the driver is armed and two or more live entries share
+        the earliest timestamp, the driver chooses which fires (a
+        *choice point*); otherwise this is a plain pop. Returns the
+        consumed ``(when, key, call, arg)`` tuple, or None when idle
+        (or past ``until``).
+        """
+        queue = self._queue
+        when = queue.peek_when()
+        if when is None or (until is not None and when > until):
+            return None
+        ctl = self._controller
+        if ctl.armed:
+            candidates = queue.frontier(when)
+            if len(candidates) > 1:
+                entry = candidates[ctl.choose(self, when, candidates)]
+                return queue.take(entry)
+        return queue.pop()
+
+    def _run_controlled(self, until: Optional[float]) -> float:
+        """The :meth:`run` loop with an exploration driver interposed."""
+        ctl = self._controller
+        no_arg = NO_ARG
+        while True:
+            popped = self._controlled_take(until)
+            if popped is None:
+                break
+            self._now = popped[0]
+            call, arg = popped[2], popped[3]
+            ctl.begin_step(self, popped)
+            if arg is no_arg:
+                call()
+            else:
+                call(arg)
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled call, or None if idle."""
