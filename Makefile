@@ -1,6 +1,6 @@
 # Convenience targets for the Colza reproduction.
 
-.PHONY: install test chaos lint check check-fast report sarif fuzz mcheck bench bench-trajectory bench-trajectory-update bench-analysis bench-analysis-update examples results clean
+.PHONY: install test chaos autoscale lint check check-fast report sarif fuzz mcheck bench bench-trajectory bench-trajectory-update bench-analysis bench-analysis-update bench-autoscale bench-autoscale-update examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,12 @@ test:
 
 chaos:
 	pytest tests/chaos/ -q
+
+# The closed-loop SLO autoscaler (DESIGN §16): unit + acceptance tests
+# plus the chaos scenarios that attack the controller's own actuation.
+autoscale:
+	PYTHONPATH=src python -m pytest tests/test_autoscale.py -q
+	PYTHONPATH=src python -m pytest tests/chaos/test_scenarios.py -q -k "autoscale"
 
 lint:
 	PYTHONPATH=src python -m repro.analysis lint src
@@ -59,6 +65,14 @@ bench-analysis:
 bench-analysis-update:
 	PYTHONPATH=src python -m repro.bench trajectory --suite analysis --update
 
+# SLO-autoscaler trajectory: miss rate, resize counts and safety
+# violations under pinned load traces, gated against BENCH_autoscale.json.
+bench-autoscale:
+	PYTHONPATH=src python -m repro.bench trajectory --suite autoscale --check
+
+bench-autoscale-update:
+	PYTHONPATH=src python -m repro.bench trajectory --suite autoscale --update
+
 examples:
 	python examples/quickstart.py
 	python examples/grayscott_insitu.py
@@ -67,6 +81,7 @@ examples:
 	python examples/fault_tolerance.py
 	python examples/adios_sst_coupling.py
 	python examples/multi_tenant.py
+	python examples/autoscale_slo.py
 
 results: bench
 	@echo "tables written to results/, images to results/renders/"

@@ -43,6 +43,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation-ssg": "repro.bench.experiments.ablation_ssg",
     "ablation-compositing": "repro.bench.experiments.ablation_compositing",
     "ablation-autoscale": "repro.bench.experiments.ablation_autoscale",
+    "autoscale-slo": "repro.bench.experiments.autoscale_slo",
 }
 
 

@@ -93,6 +93,7 @@ class ColzaExperiment:
         nodes: int = 128,
         pipeline_name: str = "render",
         library: str = "libcolza-catalyst.so",
+        extra_config: Optional[Dict[str, Any]] = None,
     ):
         self.sim = Simulation(seed=seed)
         self.cluster = Cluster(self.sim, nodes=nodes)
@@ -112,6 +113,11 @@ class ColzaExperiment:
         self.height = height
         self.pipeline_name = pipeline_name
         self.library = library
+        #: Extra pipeline configuration merged into the deploy-time
+        #: config dict (and into every elastic re-deploy). This is how
+        #: experiments reach backend knobs the harness has no parameter
+        #: for — e.g. the stats backend's ``bytes_per_second``.
+        self.extra_config = dict(extra_config or {})
         self.handles: List = []
         self.clients: List = []
         self.client_margos: List = []
@@ -119,6 +125,18 @@ class ColzaExperiment:
         self.timings: List[IterationTiming] = []
 
     # ------------------------------------------------------------------
+    def pipeline_config(self) -> Dict[str, Any]:
+        """The config dict every pipeline deploy (initial and elastic)
+        receives: harness parameters plus :attr:`extra_config`."""
+        config: Dict[str, Any] = {
+            "script": self.script,
+            "controller": self.controller,
+            "width": self.width,
+            "height": self.height,
+        }
+        config.update(self.extra_config)
+        return config
+
     def setup(self) -> "ColzaExperiment":
         sim = self.sim
         drive(
@@ -137,12 +155,7 @@ class ColzaExperiment:
             self.client_margos.append(margo)
             self.clients.append(client)
 
-        config: Dict[str, Any] = {
-            "script": self.script,
-            "controller": self.controller,
-            "width": self.width,
-            "height": self.height,
-        }
+        config = self.pipeline_config()
         if self.controller == "mpi":
             self._provision_mpi_world()
         drive(
@@ -189,12 +202,7 @@ class ColzaExperiment:
         results = yield sim.all_of(starts)
         daemons.extend(results)
         admin = ColzaAdmin(self.client_margos[0])
-        config = {
-            "script": self.script,
-            "controller": self.controller,
-            "width": self.width,
-            "height": self.height,
-        }
+        config = self.pipeline_config()
         for daemon in daemons:
             yield from admin.create_pipeline(
                 daemon.address, self.pipeline_name, self.library, config

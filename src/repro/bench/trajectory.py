@@ -348,6 +348,49 @@ def scene_mcheck_explore() -> Dict[str, float]:
     }
 
 
+def scene_autoscale_trace(shape: str) -> Dict[str, float]:
+    """The closed-loop SLO controller under one pinned load trace:
+    miss and resize counts are the tracked product metrics (DESIGN §16)
+    — a regression here means the controller started missing deadlines
+    it used to meet, or thrashing where it used to hold."""
+    from repro.bench.experiments.autoscale_slo import _run_regime
+    from repro.bench.loadtraces import trace
+
+    kwargs = {"burst": 6.0} if shape == "bursty" else {}
+    loads = trace(shape, 12, seed=23, **kwargs)
+    t0 = _wall()
+    m = _run_regime("slo", "grayscott", loads, 4, 23)
+    wall = _wall() - t0
+    return {
+        "wall_seconds": wall,
+        "slo_misses": float(m["slo_misses"]),
+        "resizes": float(m["resizes"]),
+        "resize_failures": float(m["resize_failures"]),
+        "final_servers": float(m["final_servers"]),
+        "iterations_per_sec": len(loads) / wall,
+    }
+
+
+def scene_autoscale_chaos() -> Dict[str, float]:
+    """Two controller-attacking chaos scenarios (join-target crash,
+    telemetry blackout) at a pinned seed. ``violations`` baselines at 0
+    so any ControllerSafety break on the clean tree fails the gate."""
+    from repro.chaos.scenarios import run_scenario
+
+    t0 = _wall()
+    crash = run_scenario("autoscale_join_target_crash", seed=0)
+    blackout = run_scenario("autoscale_telemetry_blackout", seed=0)
+    wall = _wall() - t0
+    return {
+        "wall_seconds": wall,
+        "violations": float(len(crash.violations) + len(blackout.violations)),
+        "resize_failures": float(crash.info["resize_failures"]),
+        "servers_after_recovery": float(crash.info["servers"]),
+        "degraded_steps": float(blackout.info["degraded_steps"]),
+        "scenarios_per_sec": 2.0 / wall,
+    }
+
+
 #: Scene registry: name -> (runner, tracked metric spec).
 #: Spec maps metric name -> "count" (regresses by growing) or
 #: "throughput" (regresses by shrinking). Untracked fields are
@@ -430,10 +473,42 @@ ANALYSIS_SCENES: Dict[str, Tuple[Callable[[], Dict[str, float]], Dict[str, str]]
     ),
 }
 
+#: The SLO-autoscaler suite: product metrics (miss rate, resize
+#: counts, safety violations) gated like perf numbers — the controller
+#: may not quietly start missing deadlines or thrashing.
+AUTOSCALE_SCENES: Dict[str, Tuple[Callable[[], Dict[str, float]], Dict[str, str]]] = {
+    "autoscale_bursty": (
+        lambda: scene_autoscale_trace("bursty"),
+        {
+            "slo_misses": "count",
+            "resizes": "count",
+            "resize_failures": "count",
+            "norm_throughput": "throughput",
+        },
+    ),
+    "autoscale_adversarial": (
+        lambda: scene_autoscale_trace("adversarial"),
+        {
+            "slo_misses": "count",
+            "resizes": "count",
+            "norm_throughput": "throughput",
+        },
+    ),
+    "autoscale_chaos": (
+        scene_autoscale_chaos,
+        {
+            "violations": "count",
+            "resize_failures": "count",
+            "norm_throughput": "throughput",
+        },
+    ),
+}
+
 #: Suite registry: name -> (scene registry, baseline path, latest path).
 SUITES: Dict[str, Tuple[Dict, str, str]] = {
     "kernel": (SCENES, BASELINE_PATH, LATEST_PATH),
     "analysis": (ANALYSIS_SCENES, "BENCH_analysis.json", "BENCH_analysis.latest.json"),
+    "autoscale": (AUTOSCALE_SCENES, "BENCH_autoscale.json", "BENCH_autoscale.latest.json"),
 }
 
 

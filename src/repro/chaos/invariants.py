@@ -31,6 +31,10 @@ properties:
    prepared votes, replicas) ever exists under a tenant the daemon has
    not admitted — so a detach, abort, or crash recovery in one tenant
    can never strand or consume another tenant's data.
+7. **Controller safety** (DESIGN §16, :class:`ControllerSafety`) — a
+   watched SLO autoscaler never steers the group outside
+   ``[min_servers, max_servers]``, never overlaps resizes, respects
+   its cooldown, and degrades instead of raising.
 
 Violations accumulate as human-readable strings; :meth:`assert_ok`
 turns them into one test failure.
@@ -53,7 +57,94 @@ from repro.analysis.simtsan import untracked
 from repro.chaos.faults import name_of
 from repro.core.tenancy import tenant_of
 
-__all__ = ["InvariantMonitor", "TenantIsolation"]
+__all__ = ["ControllerSafety", "InvariantMonitor", "TenantIsolation"]
+
+
+class ControllerSafety:
+    """Invariant 7: the SLO autoscaler never makes things worse.
+
+    Audits a :class:`repro.core.autoscale.SloAutoscaler`'s replayable
+    event log (DESIGN §16) *independently* of the controller's own
+    bookkeeping — the log records what happened, this class re-derives
+    what was allowed:
+
+    - **Bounds**: every decision/resize target lies in
+      ``[min_servers, max_servers]``, and the live server count never
+      exceeds ``max_servers`` at any event (external crashes may dip
+      the count below ``min_servers``; the controller may never *steer*
+      outside the band).
+    - **Single resize in flight**: ``resize_start`` events strictly
+      alternate with their ``resize_done``/``resize_failed`` terminals.
+    - **Cooldown respected**: between a resize terminal and the next
+      ``resize_start``, at least ``cooldown_iterations`` control steps
+      with fresh telemetry must pass (the event log's ``tick`` clock).
+    - **Degraded instead of exception**: the event log contains no
+      ``error`` events — a controller-internal exception is caught and
+      recorded, and this audit turns it into a scenario failure; and a
+      controller currently degraded says so on its
+      ``autoscale.controller_degraded`` gauge.
+    """
+
+    def __init__(self, monitor: "InvariantMonitor", controller):
+        self.monitor = monitor
+        self.controller = controller
+
+    def _flag(self, message: str) -> None:
+        self.monitor.violations.append(
+            f"t={self.monitor.sim.now:.2f}: [controller-safety] {message}"
+        )
+
+    def check(self) -> None:
+        ctl = self.controller
+        slo = ctl.slo
+        in_flight = 0
+        last_terminal_tick: Optional[int] = None
+        for ev in ctl.events:
+            if ev.kind == "error":
+                self._flag(f"controller hit an internal error: {ev.detail}")
+            if ev.servers > slo.max_servers:
+                self._flag(
+                    f"{ev.servers} live servers at {ev.kind!r} exceeds "
+                    f"max_servers={slo.max_servers}"
+                )
+            if ev.target and not (
+                slo.min_servers <= ev.target <= slo.max_servers
+            ):
+                self._flag(
+                    f"{ev.kind} targeted {ev.target} servers, outside "
+                    f"[{slo.min_servers}, {slo.max_servers}]"
+                )
+            if ev.kind == "resize_start":
+                in_flight += 1
+                if in_flight > 1:
+                    self._flag("a resize started while one was in flight")
+                if (
+                    last_terminal_tick is not None
+                    and ev.tick - last_terminal_tick < slo.cooldown_iterations
+                ):
+                    self._flag(
+                        f"resize at tick {ev.tick} only "
+                        f"{ev.tick - last_terminal_tick} fresh steps after "
+                        f"the previous one (cooldown is "
+                        f"{slo.cooldown_iterations})"
+                    )
+            elif ev.kind in ("resize_done", "resize_failed"):
+                in_flight -= 1
+                if in_flight < 0:
+                    self._flag(f"{ev.kind} without a matching resize_start")
+                last_terminal_tick = ev.tick
+        if in_flight > 0:
+            self._flag("a resize was left in flight at scenario end")
+        gauge_value = (
+            self.monitor.sim.metrics.scope("autoscale")
+            .gauge("controller_degraded")
+            .value
+        )
+        if bool(gauge_value) != bool(ctl.degraded):
+            self._flag(
+                f"controller_degraded gauge ({gauge_value}) disagrees with "
+                f"the controller's state ({ctl.degraded})"
+            )
 
 
 class TenantIsolation:
@@ -173,6 +264,9 @@ class InvariantMonitor:
         self._views: Dict[Tuple[str, int], Tuple[str, ...]] = {}
         #: Invariant 6: multi-tenant isolation audits (DESIGN §13).
         self.tenancy = TenantIsolation(self)
+        #: Invariant 7: controller-safety audits, one per watched
+        #: :class:`~repro.core.autoscale.SloAutoscaler` (DESIGN §16).
+        self.controllers: List[ControllerSafety] = []
 
     # ------------------------------------------------------------------
     def attach(self) -> "InvariantMonitor":
@@ -200,6 +294,12 @@ class InvariantMonitor:
                 continue
             self._watched.add(daemon.name)
             daemon.agent.add_observer(self._observer_for(daemon))
+
+    def watch_controller(self, controller) -> "ControllerSafety":
+        """Audit an autoscaler's event log at :meth:`final_check`."""
+        safety = ControllerSafety(self, controller)
+        self.controllers.append(safety)
+        return safety
 
     def note_failure(self, server: str) -> None:
         """Exempt ``server`` from the no-false-death invariant (the
@@ -375,6 +475,8 @@ class InvariantMonitor:
         isolation must hold at quiescence."""
         with untracked(self.sim):
             self.tenancy.check_all()
+            for safety in self.controllers:
+                safety.check()
         if not self.deployment.converged():
             views = {
                 d.name: [str(a) for a in d.agent.members()]

@@ -42,8 +42,10 @@ from repro.chaos.faults import (
 )
 from repro.chaos.invariants import InvariantMonitor
 import repro.core.pipelines  # noqa: F401  (registers the pipeline libraries)
+from repro.bench.loadtraces import bursty
 from repro.core import Deployment, TenancyConfig
 from repro.core.admin import ColzaAdmin
+from repro.core.autoscale import SloAutoscaler, SloConfig, TenantSlo
 from repro.na import VirtualPayload
 from repro.sim import Simulation
 from repro.ssg import SwimConfig
@@ -266,6 +268,30 @@ def _workload(ctx, iterations=3, blocks=4, payload=None, attempts=5, first=1,
         )
         sizes.append(len(view))
     return sizes
+
+
+def _controller_workload(ctx, controller, loads, base_elements=1 << 14, blocks=8,
+                         gap=0.5, attempts=8, handle=None, first=1,
+                         hooks=None):
+    """Drive one resilient iteration per trace point, scaling the block
+    size by the load multiplier and stepping the controller after each
+    iteration (the closed loop's natural cadence).
+
+    ``hooks`` maps iteration numbers to zero-argument callables run
+    just before that iteration — scenarios use them to flip faults or
+    telemetry at deterministic points in the workload.
+    """
+    handle = handle or ctx.handle
+    hooks = hooks or {}
+    for it, load in enumerate(loads, start=first):
+        if it in hooks:
+            hooks[it]()
+        yield ctx.sim.timeout(gap)
+        payload = VirtualPayload((max(1, int(base_elements * load)),), "float64")
+        blks = [(b, payload) for b in range(blocks)]
+        yield from handle.run_resilient_iteration(it, blks, max_attempts=attempts)
+        yield from controller.step_from_trace()
+    return controller
 
 
 def _finish(ctx, info: Optional[dict] = None, settle: float = 6.0) -> ScenarioResult:
@@ -1055,14 +1081,16 @@ def scenario_slow_straggler_autoscale(seed: int = 0) -> ScenarioResult:
     experiment = ColzaExperiment(
         n_servers=2, n_clients=1, script=IsoSurfaceScript(field="d", isovalues=[0.5]),
         library=STATS, seed=seed, pipeline_name="pipe",
+        extra_config={"bytes_per_second": 2e7},
     ).setup()
     sim = experiment.sim
     monitor = InvariantMonitor(sim, experiment.deployment).attach()
-    # The stats backend's throughput comes from its config; the harness
-    # doesn't pass one, so slow the node via compute-factor instead.
+    # ``extra_config`` reaches the stats backend, so the fault can slow
+    # the straggler's actual compute by a plausible throttle factor
+    # instead of an artificial x2000 against a near-free default.
     plan = FaultPlan((
         SlowFault(sim.now, sim.now + 200.0, server=experiment.deployment.daemons[0].name,
-                  factor=2000.0),
+                  factor=8.0),
     ))
     engine = ChaosEngine(sim, plan, experiment.deployment, monitor).install()
     policy = ElasticityPolicy(target_high=0.5, target_low=1e-4,
@@ -1088,6 +1116,208 @@ def scenario_slow_straggler_autoscale(seed: int = 0) -> ScenarioResult:
         violations=list(monitor.violations),
         info={"decisions": decisions, "servers": len(experiment.deployment.addresses())},
     )
+
+
+# ---------------------------------------------------------------------------
+# the closed-loop SLO controller under attack (DESIGN §16)
+#
+# These scenarios fault the *controller's own actuation and inputs*,
+# not just the protocol under it: the product being tested is that the
+# control loop survives its own failure modes. Every scenario watches
+# the controller with the ControllerSafety invariant — bounds, single
+# resize in flight, cooldown, degraded-instead-of-raise.
+
+#: One staging server's share of a 1 MiB iteration at this rate takes
+#: ~0.26 s on two servers — big enough that a burst crosses a ~1 s SLO,
+#: small enough that scenarios stay fast.
+AUTOSCALE_BPS = 2e6
+AUTOSCALE_SLO = dict(
+    deadline=1.2, min_servers=1, max_servers=4, cooldown_iterations=1,
+    shrink_patience=6, join_deadline=8.0, leave_deadline=8.0,
+    initial_resize_cost=4.0,
+)
+
+
+@scenario
+def scenario_autoscale_join_target_crash(seed: int = 0) -> ScenarioResult:
+    """The controller's scale-up target crashes mid-join: the attempt
+    must be abandoned, the node quarantined, and the retry on a
+    different node must restore the grow — with the safety audit clean
+    and ``resize_failures`` recording the casualty."""
+    ctx = build_stack(seed, n_servers=2, config={"bytes_per_second": AUTOSCALE_BPS})
+    controller = SloAutoscaler(
+        ctx.deployment, ctx.margo, ctx.library, ctx.config,
+        slo=SloConfig(**AUTOSCALE_SLO), first_node=8,
+    )
+    ctx.monitor.watch_controller(controller)
+    initial = {d.name for d in ctx.deployment.daemons}
+    crashed: List[str] = []
+
+    def saboteur():
+        # Crash the first elastically joining daemon the moment it
+        # appears — mid-srun/mid-join, before its pipeline deploys.
+        while not crashed and ctx.sim.now < ctx.t0 + 300:
+            for d in ctx.deployment.daemons:
+                if d.name not in initial:
+                    ctx.monitor.note_failure(d.name)
+                    d.crash()
+                    crashed.append(d.name)
+                    return
+            yield ctx.sim.timeout(0.05)
+
+    ctx.sim.spawn(saboteur(), name="join-saboteur")
+    loads = bursty(8, seed=seed, base=1.0, burst=6.0, ramp=2, hold=3,
+                   min_gap=2, max_gap=3)
+    drive(ctx.sim, _controller_workload(ctx, controller, loads), max_time=1200)
+    result = _finish(ctx, {
+        "resize_failures": controller.resize_failures,
+        "quarantined": sorted(controller.quarantined),
+        "servers": len(ctx.deployment.live_daemons()),
+        "decisions": [d.action for d in controller.decisions],
+    })
+    if not crashed:
+        result.violations.append("saboteur never caught a joining daemon")
+    if controller.resize_failures < 1:
+        result.violations.append("the mid-join crash never registered as a resize failure")
+    if not controller.quarantined:
+        result.violations.append("the crash site was never quarantined")
+    if len(ctx.deployment.live_daemons()) <= 2:
+        result.violations.append("controller never recovered the grow on another node")
+    return result
+
+
+@scenario
+def scenario_autoscale_telemetry_blackout(seed: int = 0) -> ScenarioResult:
+    """Tracing goes dark mid-run: the controller must enter degraded
+    hold (gauge up, decisions hold, no exception) and recover when
+    telemetry returns — never actuating blind."""
+    ctx = build_stack(seed, n_servers=2, config={"bytes_per_second": AUTOSCALE_BPS})
+    slo = SloConfig(**{**AUTOSCALE_SLO, "stale_after_steps": 2, "min_servers": 2})
+    controller = SloAutoscaler(
+        ctx.deployment, ctx.margo, ctx.library, ctx.config, slo=slo, first_node=8,
+    )
+    ctx.monitor.watch_controller(controller)
+    window: Dict[str, float] = {}
+
+    def lights_off():
+        window["off"] = ctx.sim.now
+        ctx.sim.trace.enabled = False
+
+    def lights_on():
+        window["on"] = ctx.sim.now
+        ctx.sim.trace.enabled = True
+
+    loads = [1.0] * 12
+    drive(
+        ctx.sim,
+        _controller_workload(ctx, controller, loads,
+                             hooks={5: lights_off, 9: lights_on}),
+        max_time=1200,
+    )
+    kinds = [e.kind for e in controller.events]
+    result = _finish(ctx, {
+        "kinds": kinds,
+        "degraded_steps": sum(1 for d in controller.decisions if d.degraded),
+    })
+    if "degraded" not in kinds:
+        result.violations.append("blackout never pushed the controller into degraded mode")
+    if "recovered" not in kinds:
+        result.violations.append("controller never recovered after telemetry returned")
+    resized_blind = any(
+        e.kind == "resize_start" and window["off"] <= e.t < window["on"]
+        for e in controller.events
+    )
+    if resized_blind:
+        result.violations.append("controller actuated during the blackout")
+    return result
+
+
+@scenario
+def scenario_autoscale_flapping_straggler(seed: int = 0) -> ScenarioResult:
+    """One server flaps between throttled and healthy in short windows:
+    cooldown + shrink patience + resize-cost amortization must keep the
+    controller from breathing with the flaps."""
+    ctx = build_stack(seed, n_servers=2, config={"bytes_per_second": AUTOSCALE_BPS})
+    controller = SloAutoscaler(
+        ctx.deployment, ctx.margo, ctx.library, ctx.config,
+        slo=SloConfig(**{**AUTOSCALE_SLO, "min_servers": 2, "shrink_patience": 3}),
+        first_node=8,
+    )
+    ctx.monitor.watch_controller(controller)
+    t = ctx.t0
+    straggler = ctx.servers[0]
+    ctx.arm(FaultPlan(tuple(
+        SlowFault(t + start, t + start + 4.0, server=straggler, factor=6.0)
+        for start in (1.0, 9.0, 17.0)
+    )))
+    loads = [1.0] * 14
+    drive(ctx.sim, _controller_workload(ctx, controller, loads, gap=0.6), max_time=1200)
+    result = _finish(ctx, {
+        "resizes": controller.resizes,
+        "decisions": [d.action for d in controller.decisions],
+        "servers": len(ctx.deployment.live_daemons()),
+    })
+    # Two full grow/shrink cycles for three flap windows is the
+    # amortized optimum here (the third flap lands inside the second
+    # cycle's patience window); breathing once per flap would be 6.
+    if controller.resizes > 4:
+        result.violations.append(
+            f"controller thrashed: {controller.resizes} resizes across 3 flap windows"
+        )
+    return result
+
+
+@scenario
+def scenario_autoscale_tenant_burst(seed: int = 0) -> ScenarioResult:
+    """Two tenants burst on the shared fabric: the noisy tenant's grow
+    demands stop at its resize budget (with explicit budget_exhausted
+    events) while the other tenant's budget still buys its resize."""
+    ctx = build_multi_tenant_stack(
+        seed, n_servers=2, config={"bytes_per_second": AUTOSCALE_BPS},
+    )
+    tenants = {
+        "alpha": TenantSlo("pipe", deadline=1.2, resize_budget=1, budget_window=100),
+        "beta": TenantSlo("pipe", deadline=1.2, resize_budget=2, budget_window=100),
+    }
+    controller = SloAutoscaler(
+        ctx.deployment, ctx.margo, ctx.library, ctx.config,
+        slo=SloConfig(**{**AUTOSCALE_SLO, "min_servers": 2, "max_servers": 6}),
+        tenants=tenants, first_node=8,
+    )
+    ctx.monitor.watch_controller(controller)
+    # alpha bursts early and keeps escalating; beta bursts later.
+    alpha_loads = [1.0, 1.0, 4.0, 4.0, 8.0, 10.0, 10.0, 10.0]
+    beta_loads = [1.0, 1.0, 1.0, 1.0, 1.0, 8.0, 8.0, 8.0]
+
+    def tenant_rounds():
+        for it in range(1, len(alpha_loads) + 1):
+            yield ctx.sim.timeout(0.4)
+            for tenant, load in (("alpha", alpha_loads[it - 1]),
+                                 ("beta", beta_loads[it - 1])):
+                payload = VirtualPayload((max(1, int((1 << 14) * load)),), "float64")
+                blks = [(b, payload) for b in range(8)]
+                yield from ctx.sessions[tenant].handle.run_resilient_iteration(
+                    it, blks, max_attempts=8
+                )
+            yield from controller.step_from_trace()
+
+    drive(ctx.sim, tenant_rounds(), max_time=1200)
+    kinds = [e.kind for e in controller.events]
+    result = _finish(ctx, {
+        "alpha_charges": controller.charged_resizes("alpha"),
+        "beta_charges": controller.charged_resizes("beta"),
+        "servers": len(ctx.deployment.live_daemons()),
+        "kinds": kinds,
+    })
+    if controller.charged_resizes("alpha") > tenants["alpha"].resize_budget:
+        result.violations.append("alpha was charged past its resize budget")
+    if "budget_exhausted" not in kinds:
+        result.violations.append("alpha's escalation never hit its budget fuse")
+    if controller.charged_resizes("beta") < 1:
+        result.violations.append(
+            "beta's burst never bought a resize (starved by alpha's)"
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -21,10 +21,13 @@ The moving parts, mirroring §II:
   the three applications.
 """
 
+from repro.core.autoscale import SloAutoscaler, SloConfig, TenantSlo
 from repro.core.backend import Backend, create_backend, register_backend
+from repro.core.backoff import backoff_delay
 from repro.core.client import ColzaClient, DistributedPipelineHandle, PipelineHandle
 from repro.core.admin import ColzaAdmin
 from repro.core.daemon import ColzaDaemon, Deployment
+from repro.core.elasticity import AutoScaler, ElasticityPolicy
 from repro.core.provider import ColzaProvider
 from repro.core.replication import ReplicaStore, block_owner, replica_buddies
 from repro.core.tenancy import (
@@ -37,6 +40,7 @@ from repro.core.tenancy import (
 )
 
 __all__ = [
+    "AutoScaler",
     "Backend",
     "ColzaAdmin",
     "ColzaClient",
@@ -45,11 +49,16 @@ __all__ = [
     "DEFAULT_TENANT",
     "Deployment",
     "DistributedPipelineHandle",
+    "ElasticityPolicy",
     "PipelineHandle",
     "ReplicaStore",
+    "SloAutoscaler",
+    "SloConfig",
     "TenancyConfig",
     "TenantQuota",
     "TenantRegistry",
+    "TenantSlo",
+    "backoff_delay",
     "block_owner",
     "create_backend",
     "qualify",

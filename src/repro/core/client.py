@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.core.backoff import backoff_delay
 from repro.core.distribution import get_policy
 from repro.core.tenancy import DEFAULT_TENANT, qualify
 from repro.margo import MargoInstance
@@ -248,12 +249,12 @@ class DistributedPipelineHandle:
 
         The jitter stream is named after this client's endpoint, so
         two clients retrying the same failure de-synchronize instead
-        of hammering the servers in lock-step — yet every pause is a
-        pure function of ``(root_seed, client name, draw index)`` and
-        replays bit-identically under a pinned seed.
+        of hammering the servers in lock-step (see
+        :func:`repro.core.backoff.backoff_delay`).
         """
-        rng = self.margo.sim.rng.stream(f"colza.backoff.{self.margo.name}")
-        return min(cap, base * (2.0 ** attempt)) * float(rng.uniform(0.5, 1.0))
+        return backoff_delay(
+            self.margo.sim, f"colza.backoff.{self.margo.name}", attempt, base, cap
+        )
 
     def _broadcast(
         self,

@@ -11,7 +11,13 @@ implements it:
   spike doesn't trigger oscillation;
 - :class:`AutoScaler` — applies decisions to a live deployment through
   the same mechanisms the paper uses (srun + SSG join to grow, admin
-  ``leave`` RPC to shrink).
+  ``leave`` RPC to shrink), with failure-aware actuation: every resize
+  runs under a deadline and retries with capped jittered backoff
+  (:mod:`repro.core.backoff`) instead of assuming the target survives.
+
+The *predictive* successor — per-tenant SLOs, amortized resize sizing,
+degraded mode, quarantine — is :class:`repro.core.autoscale.SloAutoscaler`
+(DESIGN §16); this reactive band is kept as the comparison baseline.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
 from repro.core.admin import ColzaAdmin
+from repro.core.backoff import backoff_delay, guarded
 
 __all__ = ["AutoScaler", "Decision", "ElasticityPolicy"]
 
@@ -72,7 +79,20 @@ class ElasticityPolicy:
 
 
 class AutoScaler:
-    """Applies policy decisions to a running ColzaExperiment."""
+    """Applies policy decisions to a running ColzaExperiment.
+
+    Actuation is failure-aware: a join (or leave) that hangs past
+    :attr:`RESIZE_DEADLINE` or whose target crashes is abandoned and
+    retried — on the next node for grows, against the re-reconciled
+    live view for shrinks — with capped jittered backoff between
+    attempts, and ``core.resize_failures`` counts every abandonment.
+    """
+
+    #: Seconds before an in-flight grow/shrink attempt is abandoned.
+    RESIZE_DEADLINE = 30.0
+    #: (base, cap) seconds for the backoff between actuation attempts.
+    RESIZE_BACKOFF = (0.4, 3.0)
+    MAX_RESIZE_ATTEMPTS = 3
 
     def __init__(self, experiment, policy: ElasticityPolicy, next_node: int):
         self.experiment = experiment
@@ -94,19 +114,77 @@ class AutoScaler:
         self.decisions.append(decision)
         if decision.action == "grow":
             core.counter("scale_grow").inc()
-            yield from self.experiment.add_servers_with_pipeline(
-                decision.amount, node_index=self.next_node
-            )
-            self.next_node += 1
+            yield from self._grow(decision.amount)
         elif decision.action == "shrink":
             core.counter("scale_shrink").inc()
-            victim = max(
-                self.experiment.deployment.live_daemons(), key=lambda d: d.address
-            )
-            admin = ColzaAdmin(self.experiment.client_margos[0])
-            yield from admin.request_leave(victim.address)
+            yield from self._shrink()
         core.gauge("staging_servers").set(len(self.experiment.deployment.live_daemons()))
         return decision
+
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        base, cap = self.RESIZE_BACKOFF
+        return backoff_delay(
+            self.experiment.sim, "colza.backoff.autoscaler", attempt, base, cap
+        )
+
+    def _grow(self, amount: int) -> Generator:
+        """srun + join + pipeline deploy under a deadline; on failure,
+        abandon the half-started daemons and retry on the next node."""
+        sim = self.experiment.sim
+        core = sim.metrics.scope("core")
+        deployment = self.experiment.deployment
+        for attempt in range(self.MAX_RESIZE_ATTEMPTS):
+            before = len(deployment.daemons)
+            task = sim.spawn(
+                guarded(self.experiment.add_servers_with_pipeline(
+                    amount, node_index=self.next_node
+                )),
+                name="elastic-grow",
+            )
+            self.next_node += 1
+            idx, value = yield sim.any_of(
+                [task.join(), sim.timeout(self.RESIZE_DEADLINE)]
+            )
+            if idx == 0 and value[0] == "ok":
+                return True
+            if not task.finished:
+                task.kill()
+            for daemon in deployment.daemons[before:]:
+                try:
+                    daemon.crash()
+                except Exception:  # noqa: BLE001 — torn down mid-start
+                    daemon.running = False
+            core.counter("resize_failures").inc()
+            yield sim.timeout(self._backoff(attempt))
+        return False
+
+    def _shrink(self) -> Generator:
+        """Admin ``leave`` under a deadline, re-reconciling the victim
+        against the live view before every attempt."""
+        sim = self.experiment.sim
+        core = sim.metrics.scope("core")
+        deployment = self.experiment.deployment
+        admin = ColzaAdmin(self.experiment.client_margos[0])
+        start_live = len(deployment.live_daemons())
+        for attempt in range(self.MAX_RESIZE_ATTEMPTS):
+            live = deployment.live_daemons()
+            if not live or len(live) < start_live:
+                return True  # a concurrent death already shrank the group
+            victim = max(live, key=lambda d: d.address)
+            task = sim.spawn(
+                guarded(admin.request_leave(victim.address)), name="elastic-leave"
+            )
+            idx, value = yield sim.any_of(
+                [task.join(), sim.timeout(self.RESIZE_DEADLINE)]
+            )
+            if idx == 0 and value[0] == "ok":
+                return True
+            if not task.finished:
+                task.kill()
+            core.counter("resize_failures").inc()
+            yield sim.timeout(self._backoff(attempt))
+        return False
 
     def step_from_trace(self, pipeline: Optional[str] = None) -> Generator:
         """Observe the most recent ``colza.execute`` span and act on it.

@@ -31,6 +31,7 @@ DETERMINISM_SUBSET = [
     "replicated_crash_owner_mid_iteration",
     "replicated_owner_and_buddy_crash",
     "tenant_recovery_race",
+    "autoscale_flapping_straggler",
 ]
 
 
@@ -98,6 +99,29 @@ def test_node_failure_recovers_from_off_node_replicas():
     assert result.ok, "\n".join(result.violations)
     assert result.info["recovered"] >= 2
     assert result.info["fallbacks"] == 0
+
+
+def test_join_target_crash_bites_the_controller():
+    result = run_scenario("autoscale_join_target_crash", seed=1)
+    assert result.ok, "\n".join(result.violations)
+    assert result.info["resize_failures"] >= 1
+    assert result.info["quarantined"], "the crash site was never quarantined"
+    assert result.info["servers"] > 2, "the grow never recovered elsewhere"
+
+
+def test_telemetry_blackout_degrades_then_recovers():
+    result = run_scenario("autoscale_telemetry_blackout", seed=1)
+    assert result.ok, "\n".join(result.violations)
+    kinds = result.info["kinds"]
+    assert "degraded" in kinds and "recovered" in kinds
+    assert result.info["degraded_steps"] >= 1
+
+
+def test_tenant_burst_respects_resize_budgets():
+    result = run_scenario("autoscale_tenant_burst", seed=1)
+    assert result.ok, "\n".join(result.violations)
+    assert result.info["alpha_charges"] <= 1, "alpha charged past its budget"
+    assert result.info["beta_charges"] >= 1, "beta starved by alpha's burst"
 
 
 # ---------------------------------------------------------------------------

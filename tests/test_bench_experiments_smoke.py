@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     ablation_compositing,
     ablation_reduce,
     ablation_ssg,
+    autoscale_slo,
     fig1a_dwi_dataset,
     fig4_resize,
     fig7_dwi,
@@ -74,6 +75,20 @@ def test_ablation_compositing_smoke():
     results = ablation_compositing.run(scales=(2, 4))
     assert results["bswap"][4]["bytes"] > 0
     assert results["reduce"][4]["bytes"] > results["reduce"][2]["bytes"]
+
+
+def test_autoscale_slo_smoke():
+    results = autoscale_slo.run(
+        apps=("grayscott",), traces=("bursty",), iterations=12
+    )
+    regimes = results["grayscott"]["bursty"]
+    assert set(regimes) == {"slo", "reactive", "static_small", "static_large"}
+    assert regimes["static_small"]["slo_misses"] >= 1, "trace never stressed SMALL"
+    assert regimes["slo"]["slo_misses"] < regimes["static_small"]["slo_misses"]
+    assert regimes["slo"]["slo_misses"] <= regimes["reactive"]["slo_misses"]
+    # The elastic win: near static_large's misses at far fewer
+    # server-seconds than provisioning for the burst from day one.
+    assert regimes["slo"]["server_seconds"] < regimes["static_large"]["server_seconds"]
 
 
 def test_table2_calibration_dict_complete():
